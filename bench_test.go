@@ -1,0 +1,284 @@
+// Benchmark harness: one benchmark per figure/panel of the paper plus
+// one per ablation in DESIGN.md's experiment index. Each benchmark runs
+// the full experiment per iteration and reports the paper's headline
+// quantities as custom metrics (b.ReportMetric), so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every number in EXPERIMENTS.md.
+package circuitstart_test
+
+import (
+	"testing"
+
+	"circuitstart"
+	"circuitstart/internal/experiments"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// BenchmarkFig1CwndTraceNear regenerates Figure 1 (upper left): source
+// cwnd with the bottleneck one hop away. Metrics: the startup exit
+// window relative to the model optimum and the convergence time.
+func BenchmarkFig1CwndTraceNear(b *testing.B) {
+	benchCwndTrace(b, 1)
+}
+
+// BenchmarkFig1CwndTraceFar regenerates Figure 1 (upper right): the
+// bottleneck three hops away.
+func BenchmarkFig1CwndTraceFar(b *testing.B) {
+	benchCwndTrace(b, 3)
+}
+
+func benchCwndTrace(b *testing.B, distance int) {
+	var r circuitstart.CwndTraceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = circuitstart.Fig1CwndTrace(circuitstart.DefaultCwndTraceParams(distance))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.OptimalCells, "optimal_cells")
+	b.ReportMetric(r.ExitCwnd, "exit_cells")
+	b.ReportMetric(r.PeakCells, "peak_cells")
+	if r.SettleTime >= 0 {
+		b.ReportMetric(r.SettleTime.Milliseconds(), "settle_ms")
+	}
+}
+
+// BenchmarkFig1DownloadCDF regenerates Figure 1 (lower): the download
+// time CDF over 50 concurrent circuits, with vs without CircuitStart.
+// Metrics: both medians and the median gap in milliseconds.
+func BenchmarkFig1DownloadCDF(b *testing.B) {
+	var res circuitstart.CDFResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = circuitstart.Fig1DownloadCDF(circuitstart.DefaultCDFParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	with, without := res.Arm("circuitstart"), res.Arm("backtap")
+	b.ReportMetric(with.TTLB.Median()*1000, "median_with_ms")
+	b.ReportMetric(without.TTLB.Median()*1000, "median_without_ms")
+	b.ReportMetric((without.TTLB.Median()-with.TTLB.Median())*1000, "median_gain_ms")
+	b.ReportMetric(maxHorizontalGap(res)*1000, "max_gain_ms")
+}
+
+// maxHorizontalGap returns the largest time difference between the two
+// CDFs at equal quantiles — the paper's "up to 0.5 seconds".
+func maxHorizontalGap(res circuitstart.CDFResult) float64 {
+	with, without := res.Arm("circuitstart"), res.Arm("backtap")
+	ws, wos := with.TTLB.Sorted(), without.TTLB.Sorted()
+	n := len(ws)
+	if len(wos) < n {
+		n = len(wos)
+	}
+	best := 0.0
+	for i := 0; i < n; i++ {
+		if gap := wos[i] - ws[i]; gap > best {
+			best = gap
+		}
+	}
+	return best
+}
+
+// BenchmarkAblationGamma sweeps the exit threshold γ ∈ {1,2,4,8,16}
+// (the paper fixes γ = 4). Metric: exit-window error at γ = 4.
+func BenchmarkAblationGamma(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = circuitstart.AblationGamma(42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Label == "gamma=4" {
+			b.ReportMetric(r.ExitCwnd/r.OptimalCells, "exit_over_optimal_g4")
+		}
+	}
+}
+
+// BenchmarkAblationCompensation compares exit strategies: measured
+// compensation (paper), the literal in-round count, halving, and
+// classic slow start. Metric: each arm's exit/optimal ratio.
+func BenchmarkAblationCompensation(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = circuitstart.AblationCompensation(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := []string{"measured", "counted", "halving", "classic"}
+	for i, r := range rows {
+		b.ReportMetric(r.ExitCwnd/r.OptimalCells, names[i]+"_exit_ratio")
+	}
+}
+
+// BenchmarkAblationFeedbackClock isolates feedback-round clocking vs
+// ACK clocking. Metric: peak window (aggressiveness) per arm.
+func BenchmarkAblationFeedbackClock(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = circuitstart.AblationFeedbackClock(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := []string{"feedback", "ack_comp", "ack_window"}
+	for i, r := range rows {
+		b.ReportMetric(r.PeakCells, names[i]+"_peak_cells")
+	}
+}
+
+// BenchmarkAblationBottleneckPosition sweeps the bottleneck hop 1..3.
+// Metric: settle time per position (the paper's position-independence
+// claim).
+func BenchmarkAblationBottleneckPosition(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = circuitstart.AblationBottleneckPosition(42, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, r := range rows {
+		if r.SettleTime >= 0 {
+			b.ReportMetric(r.SettleTime.Milliseconds(), names3[i]+"_settle_ms")
+		}
+	}
+}
+
+var names3 = []string{"hop1", "hop2", "hop3"}
+
+// BenchmarkAblationConcurrency sweeps concurrent circuits {10, 25, 50}.
+// Metric: median gain per level.
+func BenchmarkAblationConcurrency(b *testing.B) {
+	var rows []experiments.ConcurrencyRow
+	var err error
+	levels := []int{10, 25, 50}
+	for i := 0; i < b.N; i++ {
+		rows, err = circuitstart.AblationConcurrency(42, levels)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric((r.MedianWithout-r.MedianWith)*1000,
+			"gain_ms_k"+itoa(r.Circuits))
+	}
+}
+
+// BenchmarkExtensionDynamicRestart regenerates the future-work
+// capacity-step experiment. Metrics: recovery time with and without the
+// re-probe extension.
+func BenchmarkExtensionDynamicRestart(b *testing.B) {
+	base := circuitstart.DynamicRestartParams{
+		Seed:       42,
+		BeforeRate: circuitstart.Mbps(8),
+		AfterRate:  circuitstart.Mbps(40),
+		StepAt:     circuitstart.Second,
+		Horizon:    5 * circuitstart.Second,
+	}
+	var with, without experiments.DynamicRestartResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		p := base
+		p.RestartRounds = 3
+		with, err = circuitstart.ExtensionDynamicRestart(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.RestartRounds = -1
+		without, err = circuitstart.ExtensionDynamicRestart(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if with.RecoveryTime >= 0 {
+		b.ReportMetric(float64(with.RecoveryTime.Milliseconds()), "recovery_with_ms")
+	}
+	if without.RecoveryTime >= 0 {
+		b.ReportMetric(float64(without.RecoveryTime.Milliseconds()), "recovery_without_ms")
+	}
+}
+
+// BenchmarkSingleTransfer measures raw simulator throughput: one 1 MB
+// transfer over a 3-hop circuit per iteration (an engineering metric,
+// not a paper figure).
+func BenchmarkSingleTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := workload.Build(int64(i), workload.ScenarioParams{
+			Relays:         workload.DefaultRelayParams(8),
+			Circuits:       1,
+			HopsPerCircuit: 3,
+			TransferSize:   1 * units.Megabyte,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sc.Run(600 * circuitstart.Second)
+		if !res[0].Done {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationExtensions quantifies the default-on dynamic
+// adaptation extensions (DESIGN.md deviations): settle time per arm on
+// the distant-bottleneck trace.
+func BenchmarkAblationExtensions(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationExtensions(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := []string{"both", "remeasure", "reprobe", "pure"}
+	for i, r := range rows {
+		if r.SettleTime >= 0 {
+			b.ReportMetric(r.SettleTime.Milliseconds(), names[i]+"_settle_ms")
+		}
+		b.ReportMetric(r.FinalCells/r.OptimalCells, names[i]+"_final_ratio")
+	}
+}
+
+// BenchmarkAblationVegas sweeps the avoidance thresholds (α, β) around
+// BackTap's (2, 4). Metric: final window / optimal per pair.
+func BenchmarkAblationVegas(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationVegas(42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := []string{"a1b2", "a2b4", "a3b6", "a4b8", "a6b12"}
+	for i, r := range rows {
+		b.ReportMetric(r.FinalCells/r.OptimalCells, names[i]+"_final_ratio")
+	}
+}

@@ -1,0 +1,158 @@
+// Package circuitstart is a from-scratch reproduction of
+//
+//	Döpmann & Tschorsch, "CircuitStart: A Slow Start For Multi-Hop
+//	Anonymity Systems", SIGCOMM 2018 Posters and Demos.
+//
+// It provides a deterministic discrete-event simulation of a Tor-like
+// anonymity overlay — fixed-size cells, layered onion encryption,
+// bandwidth-weighted path selection, and a per-hop window-based
+// transport in the style of BackTap (NSDI'16) — together with the
+// paper's contribution: the CircuitStart start-up scheme, which ramps a
+// circuit's congestion windows with feedback-clocked doubling rounds
+// and compensates overshooting by measuring the successor's drain rate.
+//
+// Quick start:
+//
+//	n := circuitstart.NewNetwork(42)
+//	n.MustAddRelay("r1", circuitstart.Symmetric(circuitstart.Mbps(8), 5*time.Millisecond, 0))
+//	c := n.MustBuildCircuit(circuitstart.CircuitSpec{ ... })
+//	c.Transfer(1*circuitstart.Megabyte, nil)
+//	n.Run()
+//	ttlb, _ := c.TTLB()
+//
+// The experiments sub-API (Fig1CwndTrace, Fig1DownloadCDF, the
+// Ablation* functions) regenerates every figure of the paper; see
+// EXPERIMENTS.md for the reproduction report and DESIGN.md for the
+// system inventory.
+package circuitstart
+
+import (
+	"circuitstart/internal/core"
+	"circuitstart/internal/experiments"
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/model"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/transport"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Network is a star-topology overlay: attach relays, build circuits.
+	Network = core.Network
+	// Circuit is an onion-encrypted multi-hop path with per-hop
+	// window-based transport.
+	Circuit = core.Circuit
+	// CircuitSpec describes one circuit to build.
+	CircuitSpec = core.CircuitSpec
+	// TransportOptions selects the start-up policy and congestion
+	// parameters for a circuit's hops.
+	TransportOptions = core.TransportOptions
+	// NodeID names a node in the overlay.
+	NodeID = netem.NodeID
+	// AccessConfig describes a node's attachment to the star.
+	AccessConfig = netem.AccessConfig
+	// DataSize is an amount of data in bytes.
+	DataSize = units.DataSize
+	// DataRate is a transmission rate in bits per second.
+	DataRate = units.DataRate
+	// Time is an instant in virtual time.
+	Time = sim.Time
+	// Series is a time series of measurements (e.g. cwnd over time).
+	Series = metrics.Series
+	// Distribution accumulates samples and answers quantile queries.
+	Distribution = metrics.Distribution
+	// Path is the analytic model of a circuit's node sequence.
+	Path = model.Path
+)
+
+// Experiment types (one per figure/ablation of the paper).
+type (
+	// CwndTraceParams configures a Figure-1 upper-panel run.
+	CwndTraceParams = experiments.CwndTraceParams
+	// CwndTraceResult is one single-circuit cwnd trace.
+	CwndTraceResult = experiments.CwndTraceResult
+	// CDFParams configures the Figure-1 lower-panel aggregate run.
+	CDFParams = experiments.CDFParams
+	// CDFResult is the aggregate download-time comparison.
+	CDFResult = experiments.CDFResult
+	// ScenarioParams shapes the synthetic Tor-like workload.
+	ScenarioParams = workload.ScenarioParams
+	// DynamicRestartParams configures the capacity-step extension run.
+	DynamicRestartParams = experiments.DynamicRestartParams
+)
+
+// Constructors and helpers re-exported from the internal packages.
+var (
+	// NewNetwork creates an overlay whose randomness derives from seed.
+	NewNetwork = core.NewNetwork
+	// Symmetric builds an AccessConfig with equal up/down rates.
+	Symmetric = netem.Symmetric
+	// Mbps constructs a DataRate from megabits per second.
+	Mbps = units.Mbps
+	// Kbps constructs a DataRate from kilobits per second.
+	Kbps = units.Kbps
+	// BDP returns the bandwidth-delay product of a rate and RTT.
+	BDP = units.BDP
+
+	// Fig1CwndTrace regenerates the paper's Figure 1 upper panels.
+	Fig1CwndTrace = experiments.Fig1CwndTrace
+	// DefaultCwndTraceParams mirrors the paper's trace setup.
+	DefaultCwndTraceParams = experiments.DefaultCwndTraceParams
+	// Fig1DownloadCDF regenerates the paper's Figure 1 lower panel.
+	Fig1DownloadCDF = experiments.Fig1DownloadCDF
+	// DefaultCDFParams mirrors the paper's 50-circuit experiment.
+	DefaultCDFParams = experiments.DefaultCDFParams
+	// AblationGamma sweeps the γ exit threshold.
+	AblationGamma = experiments.AblationGamma
+	// AblationCompensation compares exit-window strategies.
+	AblationCompensation = experiments.AblationCompensation
+	// AblationFeedbackClock isolates feedback- vs ACK-clocking.
+	AblationFeedbackClock = experiments.AblationFeedbackClock
+	// AblationBottleneckPosition sweeps the bottleneck hop.
+	AblationBottleneckPosition = experiments.AblationBottleneckPosition
+	// AblationConcurrency sweeps concurrent circuit counts.
+	AblationConcurrency = experiments.AblationConcurrency
+	// ExtensionDynamicRestart runs the capacity-step extension.
+	ExtensionDynamicRestart = experiments.ExtensionDynamicRestart
+)
+
+// Data size units.
+const (
+	Byte     = units.Byte
+	Kilobyte = units.Kilobyte
+	Megabyte = units.Megabyte
+)
+
+// Virtual time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Startup policy names accepted by TransportOptions.Policy.
+const (
+	// PolicyCircuitStart is the paper's scheme (default).
+	PolicyCircuitStart = "circuitstart"
+	// PolicyBackTap is plain BackTap — the paper's "without
+	// CircuitStart" baseline (Vegas only, no ramp-up).
+	PolicyBackTap = "backtap"
+	// PolicySlowStart is a classic ACK-clocked slow start with halving.
+	PolicySlowStart = "slowstart"
+	// PolicyCircuitStartHalve is CircuitStart's rounds with the
+	// traditional halving exit (compensation ablation).
+	PolicyCircuitStartHalve = "circuitstart-halve"
+	// PolicySlowStartCompensated is ACK clocking with the measured
+	// compensation (clocking ablation).
+	PolicySlowStartCompensated = "slowstart-compensated"
+	// PolicyFixed pins a static window (Tor-SENDME-like baseline).
+	PolicyFixed = "fixed"
+)
+
+// DefaultGamma is the paper's start-up exit threshold (γ = 4).
+const DefaultGamma = transport.DefaultGamma
+
+// CellSize is the fixed cell size in bytes, as in Tor.
+const CellSize = 512

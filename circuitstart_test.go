@@ -1,0 +1,70 @@
+package circuitstart_test
+
+import (
+	"testing"
+	"time"
+
+	"circuitstart"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow end
+// to end through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	n := circuitstart.NewNetwork(1)
+	access := circuitstart.Symmetric(circuitstart.Mbps(20), 5*time.Millisecond, 0)
+	for _, id := range []circuitstart.NodeID{"guard", "middle", "exit"} {
+		n.MustAddRelay(id, access)
+	}
+	c := n.MustBuildCircuit(circuitstart.CircuitSpec{
+		Source:       "client",
+		Sink:         "server",
+		SourceAccess: access,
+		SinkAccess:   access,
+		Relays:       []circuitstart.NodeID{"guard", "middle", "exit"},
+		Transport:    circuitstart.TransportOptions{Policy: circuitstart.PolicyCircuitStart},
+	})
+	c.Transfer(500*circuitstart.Kilobyte, nil)
+	n.RunUntil(30 * circuitstart.Second)
+	ttlb, done := c.TTLB()
+	if !done || ttlb <= 0 {
+		t.Fatalf("transfer incomplete: %v, %v", ttlb, done)
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	policies := []string{
+		circuitstart.PolicyCircuitStart,
+		circuitstart.PolicyBackTap,
+		circuitstart.PolicySlowStart,
+		circuitstart.PolicyCircuitStartHalve,
+		circuitstart.PolicySlowStartCompensated,
+	}
+	access := circuitstart.Symmetric(circuitstart.Mbps(20), 2*time.Millisecond, 0)
+	for _, p := range policies {
+		t.Run(p, func(t *testing.T) {
+			n := circuitstart.NewNetwork(2)
+			n.MustAddRelay("r", access)
+			c := n.MustBuildCircuit(circuitstart.CircuitSpec{
+				Source: "c", Sink: "s",
+				SourceAccess: access, SinkAccess: access,
+				Relays:    []circuitstart.NodeID{"r"},
+				Transport: circuitstart.TransportOptions{Policy: p},
+			})
+			c.Transfer(100*circuitstart.Kilobyte, nil)
+			n.RunUntil(30 * circuitstart.Second)
+			if _, done := c.TTLB(); !done {
+				t.Fatalf("policy %s did not complete", p)
+			}
+		})
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	r, err := circuitstart.Fig1CwndTrace(circuitstart.DefaultCwndTraceParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace.Len() == 0 || r.OptimalCells <= 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+}

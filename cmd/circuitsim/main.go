@@ -1,0 +1,284 @@
+// Command circuitsim regenerates the paper's figures and the ablation
+// tables from the command line.
+//
+// Usage:
+//
+//	circuitsim fig1-cwnd  [-distance N] [-policy P] [-seed S] [-csv out.csv]
+//	circuitsim fig1-cdf   [-circuits K] [-relays N] [-size BYTES] [-seed S] [-csv out.csv]
+//	circuitsim ablation   [-name gamma|compensation|clock|position|concurrency] [-seed S]
+//	circuitsim dynamic    [-before MBPS] [-after MBPS] [-restart R] [-seed S]
+//
+// Each subcommand prints a human-readable table to stdout; -csv
+// additionally writes the raw series/CDF in gnuplot-ready CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"circuitstart/internal/experiments"
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/traceio"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fig1-cwnd":
+		err = runFig1Cwnd(os.Args[2:])
+	case "fig1-cdf":
+		err = runFig1CDF(os.Args[2:])
+	case "ablation":
+		err = runAblation(os.Args[2:])
+	case "dynamic":
+		err = runDynamic(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "circuitsim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circuitsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `circuitsim — CircuitStart (SIGCOMM'18) reproduction harness
+
+Commands:
+  fig1-cwnd   single-circuit source cwnd trace (Figure 1, upper panels)
+  fig1-cdf    download-time CDF, with vs without CircuitStart (Figure 1, lower)
+  ablation    design-choice sweeps: gamma, compensation, clock, position, concurrency
+  dynamic     capacity-step extension (future-work experiment)
+
+Run 'circuitsim <command> -h' for flags.
+`)
+}
+
+func runFig1Cwnd(args []string) error {
+	fs := flag.NewFlagSet("fig1-cwnd", flag.ExitOnError)
+	distance := fs.Int("distance", 1, "bottleneck distance from the source in hops (1..hops)")
+	hops := fs.Int("hops", 3, "number of relays on the circuit")
+	policy := fs.String("policy", "circuitstart", "startup policy")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	horizon := fs.Duration("horizon", 2*time.Second, "simulated time")
+	csvPath := fs.String("csv", "", "write the (time_ms, cwnd_kb) trace as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := experiments.DefaultCwndTraceParams(*distance)
+	p.Seed = *seed
+	p.Hops = *hops
+	p.Transport.Policy = *policy
+	p.Horizon = sim.Time(*horizon)
+	r, err := experiments.Fig1CwndTrace(p)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fig1-cwnd: policy=%s bottleneck %d/%d hops, optimal=%.1f cells (%.1f KB)\n",
+		*policy, *distance, *hops, r.OptimalCells, r.OptimalCells*512/1000)
+	tbl := traceio.NewTable("metric", "value")
+	tbl.AddRowf("exit cwnd [cells]", r.ExitCwnd)
+	tbl.AddRowf("exit time", r.ExitTime.String())
+	tbl.AddRowf("peak cwnd [cells]", r.PeakCells)
+	settle := "never"
+	if r.SettleTime >= 0 {
+		settle = r.SettleTime.String()
+	}
+	tbl.AddRowf("settled near optimal at", settle)
+	tbl.AddRowf("final cwnd [cells]", r.FinalCells)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	if *csvPath != "" {
+		kb := metrics.NewSeries("cwnd_kb")
+		for _, pt := range r.CwndKBPoints() {
+			kb.Record(pt.At, pt.Value)
+		}
+		return writeCSV(*csvPath, func(f *os.File) error {
+			return traceio.WriteSeriesCSV(f, kb)
+		})
+	}
+	return nil
+}
+
+func runFig1CDF(args []string) error {
+	fs := flag.NewFlagSet("fig1-cdf", flag.ExitOnError)
+	circuits := fs.Int("circuits", 50, "concurrent circuits")
+	relays := fs.Int("relays", 40, "relay population size")
+	size := fs.Int64("size", 500_000, "transfer size per circuit [bytes]")
+	download := fs.Bool("download", false, "run transfers in the download (server → client) direction")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	csvPath := fs.String("csv", "", "write both CDFs as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := experiments.DefaultCDFParams()
+	p.Seed = *seed
+	p.Scenario.Circuits = *circuits
+	p.Scenario.Relays = workload.DefaultRelayParams(*relays)
+	p.Scenario.TransferSize = units.DataSize(*size)
+	p.Scenario.Download = *download
+	res, err := experiments.Fig1DownloadCDF(p)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fig1-cdf: %d circuits over %d relays, %s each\n",
+		*circuits, *relays, units.DataSize(*size))
+	dists := make([]*metrics.Distribution, 0, len(res.Arms))
+	for _, arm := range res.Arms {
+		if arm.Incomplete > 0 {
+			fmt.Printf("  warning: %s left %d transfers incomplete\n", arm.Policy, arm.Incomplete)
+		}
+		dists = append(dists, arm.TTLB)
+	}
+	if err := traceio.WriteSummaryTable(os.Stdout, dists...); err != nil {
+		return err
+	}
+	if gap := res.MedianGap("circuitstart", "backtap"); len(res.Arms) >= 2 {
+		fmt.Printf("median improvement with CircuitStart: %.3f s\n", -gap)
+	}
+
+	if *csvPath != "" {
+		return writeCSV(*csvPath, func(f *os.File) error {
+			return traceio.WriteCDFCSV(f, dists...)
+		})
+	}
+	return nil
+}
+
+func runAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	name := fs.String("name", "gamma", "gamma | compensation | clock | position | concurrency | extensions | vegas")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *name {
+	case "gamma":
+		rows, err := experiments.AblationGamma(*seed, nil)
+		if err != nil {
+			return err
+		}
+		return printAblation(rows)
+	case "compensation":
+		rows, err := experiments.AblationCompensation(*seed)
+		if err != nil {
+			return err
+		}
+		return printAblation(rows)
+	case "clock":
+		rows, err := experiments.AblationFeedbackClock(*seed)
+		if err != nil {
+			return err
+		}
+		return printAblation(rows)
+	case "position":
+		rows, err := experiments.AblationBottleneckPosition(*seed, 3)
+		if err != nil {
+			return err
+		}
+		return printAblation(rows)
+	case "extensions":
+		rows, err := experiments.AblationExtensions(*seed)
+		if err != nil {
+			return err
+		}
+		return printAblation(rows)
+	case "vegas":
+		rows, err := experiments.AblationVegas(*seed, nil)
+		if err != nil {
+			return err
+		}
+		return printAblation(rows)
+	case "concurrency":
+		rows, err := experiments.AblationConcurrency(*seed, nil)
+		if err != nil {
+			return err
+		}
+		tbl := traceio.NewTable("circuits", "median_with_s", "median_without_s", "p90_with_s", "p90_without_s")
+		for _, r := range rows {
+			tbl.AddRowf(r.Circuits, r.MedianWith, r.MedianWithout, r.P90With, r.P90Without)
+		}
+		return tbl.WriteText(os.Stdout)
+	default:
+		return fmt.Errorf("unknown ablation %q", *name)
+	}
+}
+
+func printAblation(rows []experiments.AblationRow) error {
+	tbl := traceio.NewTable("configuration", "exit_cwnd", "optimal", "peak", "settle", "final")
+	for _, r := range rows {
+		settle := "never"
+		if r.SettleTime >= 0 {
+			settle = r.SettleTime.String()
+		}
+		tbl.AddRowf(r.Label, r.ExitCwnd, r.OptimalCells, r.PeakCells, settle, r.FinalCells)
+	}
+	return tbl.WriteText(os.Stdout)
+}
+
+func runDynamic(args []string) error {
+	fs := flag.NewFlagSet("dynamic", flag.ExitOnError)
+	before := fs.Float64("before", 8, "bottleneck rate before the step [Mbit/s]")
+	after := fs.Float64("after", 40, "bottleneck rate after the step [Mbit/s]")
+	restart := fs.Int("restart", 3, "re-probe threshold in rounds (-1 disables the extension)")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r, err := experiments.ExtensionDynamicRestart(experiments.DynamicRestartParams{
+		Seed:          *seed,
+		BeforeRate:    units.Mbps(*before),
+		AfterRate:     units.Mbps(*after),
+		StepAt:        sim.Second,
+		Horizon:       5 * sim.Second,
+		RestartRounds: *restart,
+	})
+	if err != nil {
+		return err
+	}
+	tbl := traceio.NewTable("metric", "value")
+	tbl.AddRowf("optimal before [cells]", r.OptimalBefore)
+	tbl.AddRowf("optimal after [cells]", r.OptimalAfter)
+	tbl.AddRowf("window at step [cells]", r.WindowAtStep)
+	rec := "never"
+	if r.RecoveryTime >= 0 {
+		rec = r.RecoveryTime.String()
+	}
+	tbl.AddRowf("recovery to 80% of new optimal", rec)
+	tbl.AddRowf("final window [cells]", r.FinalCells)
+	tbl.AddRowf("re-probes", r.Restarts)
+	return tbl.WriteText(os.Stdout)
+}
+
+func writeCSV(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}

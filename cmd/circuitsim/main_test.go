@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1Cwnd(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "trace.csv")
+	if err := runFig1Cwnd([]string{"-distance", "1", "-horizon", "500ms", "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "time_ms,cwnd_kb" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunFig1CwndBadFlags(t *testing.T) {
+	if err := runFig1Cwnd([]string{"-distance", "9"}); err == nil {
+		t.Fatal("bottleneck beyond the path accepted")
+	}
+	if err := runFig1Cwnd([]string{"-policy", "warp"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunFig1CDFSmall(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "cdf.csv")
+	if err := runFig1CDF([]string{"-circuits", "4", "-relays", "10", "-size", "100000", "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ttlb_circuitstart") {
+		t.Fatalf("CSV missing arm column:\n%s", data)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	for _, name := range []string{"compensation", "clock", "position"} {
+		if err := runAblation([]string{"-name", name}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := runAblation([]string{"-name", "bogus"}); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestRunDynamic(t *testing.T) {
+	if err := runDynamic([]string{"-before", "8", "-after", "24"}); err != nil {
+		t.Fatal(err)
+	}
+}

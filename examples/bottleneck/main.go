@@ -1,0 +1,48 @@
+// Bottleneck: reproduce the paper's Figure 1 upper panels — the source's
+// congestion window over time with the bottleneck one hop away and three
+// hops away — and print both traces side by side in the paper's units
+// (time in ms, cwnd in KB) together with the model's optimal window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"circuitstart"
+)
+
+func main() {
+	fmt.Println("CircuitStart Figure 1 (upper): source cwnd vs time")
+	fmt.Println()
+
+	for _, distance := range []int{1, 3} {
+		p := circuitstart.DefaultCwndTraceParams(distance)
+		r, err := circuitstart.Fig1CwndTrace(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("--- distance to bottleneck: %d hop(s); optimal = %.1f KB ---\n",
+			distance, r.OptimalCells*circuitstart.CellSize/1000)
+		fmt.Printf("%10s  %10s\n", "time [ms]", "cwnd [KB]")
+		pts := r.CwndKBPoints()
+		for _, pt := range pts {
+			// The paper plots the first 300 ms; print that window.
+			if pt.At > 300*circuitstart.Millisecond {
+				break
+			}
+			fmt.Printf("%10.1f  %10.2f\n", pt.At.Milliseconds(), pt.Value)
+		}
+		settle := "never"
+		if r.SettleTime >= 0 {
+			settle = r.SettleTime.String()
+		}
+		fmt.Printf("peak %.1f KB, exit %.1f KB at %v, settled near optimal at %s\n\n",
+			r.PeakCells*circuitstart.CellSize/1000,
+			r.ExitCwnd*circuitstart.CellSize/1000,
+			r.ExitTime, settle)
+	}
+
+	fmt.Fprintln(os.Stderr, "tip: 'go run ./cmd/circuitsim fig1-cwnd -csv trace.csv' writes gnuplot-ready data")
+}

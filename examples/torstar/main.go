@@ -1,0 +1,41 @@
+// Torstar: the paper's aggregate experiment — 50 concurrent circuits
+// over a randomly generated network of Tor-like relays in a star
+// topology, each downloading a fixed amount of data, with and without
+// CircuitStart. Prints the download-time distributions and the CDF gap
+// (Figure 1, lower panel).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"circuitstart"
+)
+
+func main() {
+	p := circuitstart.DefaultCDFParams()
+	p.Scenario.Circuits = 50
+
+	fmt.Printf("running %d circuits × 2 policies over %d relays (%s each)...\n",
+		p.Scenario.Circuits, p.Scenario.Relays.N, p.Scenario.TransferSize)
+	res, err := circuitstart.Fig1DownloadCDF(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, arm := range res.Arms {
+		s := arm.TTLB.Summarize()
+		fmt.Printf("%-14s n=%d median=%.2fs p90=%.2fs max=%.2fs incomplete=%d\n",
+			arm.Policy, s.N, s.Median, s.P90, s.Max, arm.Incomplete)
+	}
+
+	gap := res.MedianGap("circuitstart", "backtap")
+	fmt.Printf("\nmedian download-time improvement with CircuitStart: %.2f s\n", -gap)
+
+	// A few points of both CDFs, as plotted in the paper.
+	fmt.Printf("\n%12s  %14s  %14s\n", "ttlb [s]", "P(with)", "P(without)")
+	with, without := res.Arm("circuitstart"), res.Arm("backtap")
+	for _, x := range []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0} {
+		fmt.Printf("%12.1f  %14.2f  %14.2f\n", x, with.TTLB.CDFAt(x), without.TTLB.CDFAt(x))
+	}
+}

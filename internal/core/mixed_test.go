@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+// TestMixedPoliciesCoexist runs a CircuitStart circuit and a classic
+// slow-start circuit through the same relays simultaneously: both must
+// complete, and the aggressive ramp must not starve the CircuitStart
+// flow ("it is desired that Tor traffic behave much like background
+// traffic").
+func TestMixedPoliciesCoexist(t *testing.T) {
+	n := NewNetwork(77)
+	access := netem.Symmetric(units.Mbps(16), 5*time.Millisecond, 256*units.Kilobyte)
+	relays := []netem.NodeID{"r1", "r2", "r3"}
+	for _, id := range relays {
+		n.MustAddRelay(id, access)
+	}
+	mk := func(i int, policy string) *Circuit {
+		return n.MustBuildCircuit(CircuitSpec{
+			Source:       netem.NodeID("client-" + policy),
+			Sink:         netem.NodeID("server-" + policy),
+			SourceAccess: netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0),
+			SinkAccess:   netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0),
+			Relays:       relays,
+			Transport:    TransportOptions{Policy: policy},
+		})
+	}
+	cs := mk(0, "circuitstart")
+	ss := mk(1, "slowstart")
+
+	size := 400 * units.Kilobyte
+	cs.Transfer(size, nil)
+	ss.Transfer(size, nil)
+	n.RunUntil(120 * sim.Second)
+
+	csT, csOK := cs.TTLB()
+	ssT, ssOK := ss.TTLB()
+	if !csOK || !ssOK {
+		t.Fatalf("incomplete: cs=%v ss=%v", csOK, ssOK)
+	}
+	// Fair-share completion for two equal transfers over one bottleneck
+	// would be ~2× the solo time; neither flow may be starved beyond 4×
+	// the other.
+	ratio := float64(csT) / float64(ssT)
+	if ratio > 4 || ratio < 0.25 {
+		t.Fatalf("gross unfairness: circuitstart %v vs slowstart %v", csT, ssT)
+	}
+}
+
+// TestManySmallCircuits stresses circuit multiplexing: 20 circuits with
+// distinct endpoints share 6 relays.
+func TestManySmallCircuits(t *testing.T) {
+	n := NewNetwork(99)
+	relays := make([]netem.NodeID, 6)
+	for i := range relays {
+		relays[i] = netem.NodeID(string(rune('a' + i)))
+		n.MustAddRelay(relays[i], netem.Symmetric(units.Mbps(40), 3*time.Millisecond, 0))
+	}
+	circuits := make([]*Circuit, 20)
+	for i := range circuits {
+		path := []netem.NodeID{relays[i%6], relays[(i+2)%6], relays[(i+4)%6]}
+		circuits[i] = n.MustBuildCircuit(CircuitSpec{
+			Source:       netem.NodeID("c" + string(rune('A'+i))),
+			Sink:         netem.NodeID("s" + string(rune('A'+i))),
+			SourceAccess: netem.Symmetric(units.Mbps(50), 3*time.Millisecond, 0),
+			SinkAccess:   netem.Symmetric(units.Mbps(50), 3*time.Millisecond, 0),
+			Relays:       path,
+		})
+	}
+	for _, c := range circuits {
+		c.Transfer(50*units.Kilobyte, nil)
+	}
+	n.RunUntil(120 * sim.Second)
+	for i, c := range circuits {
+		if !c.Done() {
+			t.Errorf("circuit %d incomplete", i)
+		}
+		if c.Sink().BadCells() != 0 {
+			t.Errorf("circuit %d: %d bad cells (crypto state crossed circuits?)", i, c.Sink().BadCells())
+		}
+	}
+}
+
+// TestLongCircuit checks a 5-hop path (beyond Tor's default three):
+// back-propagation must still reach the source.
+func TestLongCircuit(t *testing.T) {
+	n := NewNetwork(5)
+	relays := []netem.NodeID{"h1", "h2", "h3", "h4", "h5"}
+	for i, id := range relays {
+		rate := units.Mbps(100)
+		if i == 4 {
+			rate = units.Mbps(8) // bottleneck at the far end
+		}
+		n.MustAddRelay(id, netem.Symmetric(rate, 4*time.Millisecond, 0))
+	}
+	c := n.MustBuildCircuit(CircuitSpec{
+		Source: "client", Sink: "server",
+		SourceAccess: netem.Symmetric(units.Mbps(100), 4*time.Millisecond, 0),
+		SinkAccess:   netem.Symmetric(units.Mbps(100), 4*time.Millisecond, 0),
+		Relays:       relays,
+		TraceCwnd:    true,
+	})
+	c.Transfer(2*units.Megabyte, nil)
+	n.RunUntil(5 * sim.Second)
+
+	if !c.Done() && c.Sink().Received() == 0 {
+		t.Fatal("no progress on 5-hop circuit")
+	}
+	opt := c.ModelPath().OptimalSourceWindowCells()
+	if _, ok := c.SourceTrace().ConvergeTime(opt, opt*0.6, 0.25); !ok {
+		last, _ := c.SourceTrace().Last()
+		t.Fatalf("5-hop source window never converged near optimal %.1f (last %.1f)", opt, last.Value)
+	}
+}
+
+// TestSingleHopCircuit checks the degenerate one-relay path.
+func TestSingleHopCircuit(t *testing.T) {
+	n := NewNetwork(6)
+	n.MustAddRelay("only", netem.Symmetric(units.Mbps(10), 5*time.Millisecond, 0))
+	c := n.MustBuildCircuit(CircuitSpec{
+		Source: "client", Sink: "server",
+		SourceAccess: netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0),
+		SinkAccess:   netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0),
+		Relays:       []netem.NodeID{"only"},
+	})
+	size := 300 * units.Kilobyte
+	c.Transfer(size, nil)
+	n.RunUntil(60 * sim.Second)
+	if !c.Done() || c.Sink().Received() != size {
+		t.Fatalf("single-hop transfer incomplete: %v", c.Sink().Received())
+	}
+}

@@ -1,0 +1,109 @@
+// Package core assembles the substrates into runnable experiments: a
+// Network owns the virtual clock, the star topology and the relay
+// population; a Circuit is an onion-encrypted multi-hop path across it
+// with a per-hop window-based transport on every hop.
+//
+// This is the layer the public circuitstart package re-exports: examples
+// and benchmarks build a Network, add relays, build circuits and run
+// transfers — everything below (event scheduling, links, cells, crypto,
+// transport state machines) stays internal.
+package core
+
+import (
+	"fmt"
+
+	"circuitstart/internal/netem"
+	"circuitstart/internal/onion"
+	"circuitstart/internal/relay"
+	"circuitstart/internal/sim"
+)
+
+// Network is a star-topology overlay under construction: attach relays,
+// then build circuits across them. All nodes share one virtual clock.
+type Network struct {
+	clock *sim.Clock
+	star  *netem.Star
+	seed  int64
+
+	relays     map[netem.NodeID]*relay.Relay
+	identities map[netem.NodeID]*onion.Identity
+	lossRNG    *sim.RNG
+	keyRNG     *sim.RNG
+
+	nextAutoCirc uint32
+}
+
+// NewNetwork creates an empty network. All randomness (key generation,
+// loss processes) derives deterministically from seed.
+func NewNetwork(seed int64) *Network {
+	clock := sim.NewClock()
+	return &Network{
+		clock:      clock,
+		star:       netem.NewStar(clock),
+		seed:       seed,
+		relays:     make(map[netem.NodeID]*relay.Relay),
+		identities: make(map[netem.NodeID]*onion.Identity),
+		lossRNG:    sim.NewRNG(seed, "netem-loss"),
+		keyRNG:     sim.NewRNG(seed, "onion-keys"),
+	}
+}
+
+// Clock returns the shared virtual clock.
+func (n *Network) Clock() *sim.Clock { return n.clock }
+
+// Star exposes the underlying topology (for link statistics in tests
+// and experiments).
+func (n *Network) Star() *netem.Star { return n.star }
+
+// Seed returns the experiment seed the network was created with.
+func (n *Network) Seed() int64 { return n.seed }
+
+// Now returns the current virtual time.
+func (n *Network) Now() sim.Time { return n.clock.Now() }
+
+// Run executes scheduled events until the queue drains and returns the
+// final virtual time.
+func (n *Network) Run() sim.Time { return n.clock.Run() }
+
+// RunUntil executes events up to the horizon.
+func (n *Network) RunUntil(horizon sim.Time) sim.Time { return n.clock.RunUntil(horizon) }
+
+// AddRelay attaches a relay node with the given access parameters and
+// generates its onion identity. Adding the same ID twice is an error.
+func (n *Network) AddRelay(id netem.NodeID, access netem.AccessConfig) (*relay.Relay, error) {
+	if _, dup := n.relays[id]; dup {
+		return nil, fmt.Errorf("core: relay %q already added", id)
+	}
+	ident, err := onion.NewIdentity(randReader{n.keyRNG})
+	if err != nil {
+		return nil, fmt.Errorf("core: relay %q identity: %w", id, err)
+	}
+	r := relay.New(id, n.star, access, n.lossRNG)
+	n.relays[id] = r
+	n.identities[id] = ident
+	return r, nil
+}
+
+// MustAddRelay is AddRelay for static topologies where a failure is a
+// programming error.
+func (n *Network) MustAddRelay(id netem.NodeID, access netem.AccessConfig) *relay.Relay {
+	r, err := n.AddRelay(id, access)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relay returns an attached relay, or nil.
+func (n *Network) Relay(id netem.NodeID) *relay.Relay { return n.relays[id] }
+
+// randReader adapts a deterministic RNG stream to io.Reader for key
+// generation, keeping circuit builds reproducible across runs.
+type randReader struct{ rng *sim.RNG }
+
+func (r randReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(r.rng.Intn(256))
+	}
+	return len(p), nil
+}

@@ -1,0 +1,340 @@
+// Package endpoint implements the two ends of a data circuit: the
+// Source, which packetizes a transfer into onion-encrypted cells and
+// runs the first transport hop, and the Sink, which consumes plaintext
+// cells at the far end and reports forwarding progress immediately
+// (delivering to the application is the final "forwarding" step, so the
+// sink's feedback is generated on in-order delivery).
+package endpoint
+
+import (
+	"fmt"
+
+	"circuitstart/internal/cell"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/onion"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/transport"
+	"circuitstart/internal/units"
+)
+
+// Source is the data origin of a circuit. In the paper's terminology it
+// is "the source" whose congestion window Figure 1 traces; for a Tor
+// download it corresponds to the sending edge of the circuit.
+type Source struct {
+	id     netem.NodeID
+	clock  *sim.Clock
+	port   *netem.Port
+	circ   cell.CircID
+	crypto *onion.CircuitCrypto
+	sender *transport.Sender
+	first  netem.NodeID
+
+	queuedBytes units.DataSize
+	sentCells   uint64
+
+	// Download (backward) direction: the client receives layered cells
+	// from the first relay and unwraps every hop's encryption.
+	drecv        *transport.Receiver
+	downloaded   units.DataSize
+	downCells    uint64
+	downBad      uint64
+	downExpected units.DataSize
+	onDownload   func(at sim.Time)
+	downDone     bool
+}
+
+// NewSource attaches a source node to the star. params is the transport
+// template (Clock/Circ/Send are filled in here); first is the circuit's
+// first relay.
+func NewSource(id netem.NodeID, star *netem.Star, access netem.AccessConfig,
+	circ cell.CircID, crypto *onion.CircuitCrypto, first netem.NodeID,
+	params transport.Config, rng *sim.RNG) *Source {
+
+	s := &Source{id: id, clock: star.Clock(), circ: circ, crypto: crypto, first: first}
+	s.port = star.Attach(id, access, netem.HandlerFunc(s.deliver), rng)
+
+	params.Clock = s.clock
+	params.Circ = circ
+	params.Send = func(seg transport.Segment) bool {
+		seg.Dir = transport.DirForward
+		return sendSegment(s.port, first, seg)
+	}
+	s.sender = transport.NewSender(params)
+
+	s.drecv = transport.NewReceiver(circ,
+		func(seg transport.Segment) bool {
+			seg.Dir = transport.DirBackward
+			return sendSegment(s.port, first, seg)
+		},
+		s.consumeDownload,
+	)
+	return s
+}
+
+// ExpectDownload arms the download completion callback: once size
+// application bytes have arrived over the backward direction,
+// onComplete fires with the arrival time of the last byte.
+func (s *Source) ExpectDownload(size units.DataSize, onComplete func(at sim.Time)) {
+	s.downExpected = size
+	s.onDownload = onComplete
+	s.downDone = false
+}
+
+// Downloaded returns the backward-direction application bytes received.
+func (s *Source) Downloaded() units.DataSize { return s.downloaded }
+
+// DownloadBadCells returns backward cells that failed to unwrap.
+func (s *Source) DownloadBadCells() uint64 { return s.downBad }
+
+// consumeDownload processes one in-order backward cell: unwrap every
+// onion layer, account the data, and report the cell forwarded
+// (delivery to the application is the final step).
+func (s *Source) consumeDownload(c *cell.Cell) {
+	s.downCells++
+	if _, err := s.crypto.UnwrapBackward(c); err != nil {
+		s.downBad++
+	} else if hdr, data, err := c.Relay(); err == nil && hdr.Cmd == cell.RelayData {
+		s.downloaded += units.DataSize(len(data))
+	} else {
+		s.downBad++
+	}
+	s.drecv.NotifyForwarded(s.drecv.Expected())
+	if !s.downDone && s.downExpected > 0 && s.downloaded >= s.downExpected && s.onDownload != nil {
+		s.downDone = true
+		s.onDownload(s.clock.Now())
+	}
+}
+
+// ID returns the source's node ID.
+func (s *Source) ID() netem.NodeID { return s.id }
+
+// Sender exposes the source's hop sender — the subject of the paper's
+// cwnd traces.
+func (s *Source) Sender() *transport.Sender { return s.sender }
+
+// Port returns the source's network attachment.
+func (s *Source) Port() *netem.Port { return s.port }
+
+// Send packetizes size bytes of application data into relay DATA cells,
+// onion-encrypts each, and submits them to the transport. It returns
+// the number of cells enqueued.
+func (s *Source) Send(size units.DataSize) int {
+	if size <= 0 {
+		panic(fmt.Sprintf("endpoint: Send(%v)", size))
+	}
+	s.queuedBytes += size
+	remaining := size.Bytes()
+	cells := 0
+	buf := make([]byte, cell.MaxRelayData)
+	for remaining > 0 {
+		n := int64(cell.MaxRelayData)
+		if remaining < n {
+			n = remaining
+		}
+		remaining -= n
+		c := &cell.Cell{Circ: s.circ}
+		if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, buf[:n]); err != nil {
+			panic(err) // n <= MaxRelayData by construction
+		}
+		s.crypto.WrapForward(c)
+		s.sender.Enqueue(c)
+		s.sentCells++
+		cells++
+	}
+	return cells
+}
+
+// CellsFor returns how many cells a transfer of the given size occupies.
+func CellsFor(size units.DataSize) int {
+	per := int64(cell.MaxRelayData)
+	return int((size.Bytes() + per - 1) / per)
+}
+
+// deliver handles segments arriving from the first relay: control for
+// the forward sender, data for the download receiver.
+func (s *Source) deliver(f *netem.Frame) {
+	seg, ok := f.Payload.(transport.Segment)
+	if !ok || f.Src != s.first {
+		panic(fmt.Sprintf("source %s: unexpected frame from %s", s.id, f.Src))
+	}
+	if seg.Dir == transport.DirBackward {
+		switch seg.Kind {
+		case transport.KindData:
+			s.drecv.HandleData(seg.Seq, seg.Cell)
+		case transport.KindProbe:
+			s.drecv.HandleProbe()
+		default:
+			panic(fmt.Sprintf("source %s: unexpected backward segment %v", s.id, seg))
+		}
+		return
+	}
+	switch seg.Kind {
+	case transport.KindAck:
+		s.sender.HandleAck(seg.Count)
+	case transport.KindFeedback:
+		s.sender.HandleFeedback(seg.Count)
+	default:
+		panic(fmt.Sprintf("source %s: unexpected segment %v", s.id, seg))
+	}
+}
+
+// Sink is the destination endpoint: it receives plaintext cells from
+// the exit relay, counts application bytes, and completes a transfer.
+type Sink struct {
+	id    netem.NodeID
+	clock *sim.Clock
+	port  *netem.Port
+	circ  cell.CircID
+	exit  netem.NodeID
+	recv  *transport.Receiver
+
+	received   units.DataSize
+	cells      uint64
+	badCells   uint64
+	lastCellAt sim.Time
+
+	// Expected, when positive, arms OnComplete.
+	expected   units.DataSize
+	onComplete func(at sim.Time)
+	completed  bool
+
+	// bsender originates backward (download-direction) data: the sink
+	// is the destination server, outside the onion, so it sends
+	// plaintext relay cells; the exit relay seals and encrypts them.
+	bsender *transport.Sender
+}
+
+// NewSink attaches a sink node to the star, receiving from exit. params
+// configures the backward (server → client) sender; the zero value
+// selects the transport defaults.
+func NewSink(id netem.NodeID, star *netem.Star, access netem.AccessConfig,
+	circ cell.CircID, exit netem.NodeID, params transport.Config, rng *sim.RNG) *Sink {
+
+	k := &Sink{id: id, clock: star.Clock(), circ: circ, exit: exit}
+	k.port = star.Attach(id, access, netem.HandlerFunc(k.deliver), rng)
+	k.recv = transport.NewReceiver(circ,
+		func(seg transport.Segment) bool {
+			seg.Dir = transport.DirForward
+			return sendSegment(k.port, exit, seg)
+		},
+		k.consume,
+	)
+
+	params.Clock = k.clock
+	params.Circ = circ
+	params.Send = func(seg transport.Segment) bool {
+		seg.Dir = transport.DirBackward
+		return sendSegment(k.port, exit, seg)
+	}
+	k.bsender = transport.NewSender(params)
+	return k
+}
+
+// BackwardSender exposes the sink's server-side sender (the subject of
+// download-direction window traces).
+func (k *Sink) BackwardSender() *transport.Sender { return k.bsender }
+
+// SendBackward packetizes size bytes of server data into plaintext
+// relay DATA cells and submits them toward the client over the backward
+// direction. It returns the number of cells enqueued.
+func (k *Sink) SendBackward(size units.DataSize) int {
+	if size <= 0 {
+		panic(fmt.Sprintf("endpoint: SendBackward(%v)", size))
+	}
+	remaining := size.Bytes()
+	buf := make([]byte, cell.MaxRelayData)
+	cells := 0
+	for remaining > 0 {
+		n := int64(cell.MaxRelayData)
+		if remaining < n {
+			n = remaining
+		}
+		remaining -= n
+		c := &cell.Cell{Circ: k.circ}
+		if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, buf[:n]); err != nil {
+			panic(err) // n <= MaxRelayData by construction
+		}
+		k.bsender.Enqueue(c)
+		cells++
+	}
+	return cells
+}
+
+// sendSegment transmits a hop segment, giving control segments (ACK,
+// FEEDBACK, PROBE) link priority so congestion feedback is not delayed
+// by the data queues it describes.
+func sendSegment(p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
+	if seg.Kind == transport.KindData {
+		return p.Send(dst, seg.WireSize(), seg)
+	}
+	return p.SendPriority(dst, seg.WireSize(), seg)
+}
+
+// ID returns the sink's node ID.
+func (k *Sink) ID() netem.NodeID { return k.id }
+
+// Expect arms the completion callback: once size application bytes have
+// arrived, onComplete fires with the arrival time of the last byte.
+func (k *Sink) Expect(size units.DataSize, onComplete func(at sim.Time)) {
+	k.expected = size
+	k.onComplete = onComplete
+	k.completed = false
+}
+
+// Received returns the application bytes delivered so far.
+func (k *Sink) Received() units.DataSize { return k.received }
+
+// Cells returns the number of cells consumed.
+func (k *Sink) Cells() uint64 { return k.cells }
+
+// BadCells returns cells that failed to parse as plaintext relay cells.
+func (k *Sink) BadCells() uint64 { return k.badCells }
+
+// LastCellAt returns the arrival time of the most recent cell.
+func (k *Sink) LastCellAt() sim.Time { return k.lastCellAt }
+
+// consume processes one in-order plaintext cell: account its data and
+// immediately report it forwarded (the delivery IS the forwarding).
+func (k *Sink) consume(c *cell.Cell) {
+	k.cells++
+	k.lastCellAt = k.clock.Now()
+	hdr, data, err := c.Relay()
+	if err != nil || hdr.Cmd != cell.RelayData {
+		k.badCells++
+	} else {
+		k.received += units.DataSize(len(data))
+	}
+	k.recv.NotifyForwarded(k.recv.Expected())
+	if !k.completed && k.expected > 0 && k.received >= k.expected && k.onComplete != nil {
+		k.completed = true
+		k.onComplete(k.clock.Now())
+	}
+}
+
+// deliver handles frames from the exit relay: forward data to the
+// receiver, backward control to the server-side sender.
+func (k *Sink) deliver(f *netem.Frame) {
+	seg, ok := f.Payload.(transport.Segment)
+	if !ok || f.Src != k.exit {
+		panic(fmt.Sprintf("sink %s: unexpected frame from %s", k.id, f.Src))
+	}
+	if seg.Dir == transport.DirBackward {
+		switch seg.Kind {
+		case transport.KindAck:
+			k.bsender.HandleAck(seg.Count)
+		case transport.KindFeedback:
+			k.bsender.HandleFeedback(seg.Count)
+		default:
+			panic(fmt.Sprintf("sink %s: unexpected backward segment %v", k.id, seg))
+		}
+		return
+	}
+	switch seg.Kind {
+	case transport.KindData:
+		k.recv.HandleData(seg.Seq, seg.Cell)
+	case transport.KindProbe:
+		k.recv.HandleProbe()
+	default:
+		panic(fmt.Sprintf("sink %s: unexpected segment %v", k.id, seg))
+	}
+}

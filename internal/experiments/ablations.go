@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"circuitstart/internal/core"
+	"circuitstart/internal/model"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/transport"
+	"circuitstart/internal/units"
+)
+
+// AblationRow is one configuration's outcome in an ablation sweep over
+// the single-circuit trace scenario.
+type AblationRow struct {
+	// Label names the configuration (γ value, policy name, …).
+	Label string
+	// ExitCwnd, OptimalCells, PeakCells, SettleTime, FinalCells mirror
+	// CwndTraceResult.
+	ExitCwnd     float64
+	OptimalCells float64
+	PeakCells    float64
+	SettleTime   sim.Time
+	FinalCells   float64
+	// ExitTime is when startup ended.
+	ExitTime sim.Time
+}
+
+func rowFromTrace(label string, r CwndTraceResult) AblationRow {
+	return AblationRow{
+		Label:        label,
+		ExitCwnd:     r.ExitCwnd,
+		OptimalCells: r.OptimalCells,
+		PeakCells:    r.PeakCells,
+		SettleTime:   r.SettleTime,
+		FinalCells:   r.FinalCells,
+		ExitTime:     r.ExitTime,
+	}
+}
+
+// AblationGamma sweeps the start-up exit threshold γ (paper fixes γ=4)
+// on the distant-bottleneck trace scenario.
+func AblationGamma(seed int64, gammas []float64) ([]AblationRow, error) {
+	if len(gammas) == 0 {
+		gammas = []float64{1, 2, 4, 8, 16}
+	}
+	rows := make([]AblationRow, 0, len(gammas))
+	for _, g := range gammas {
+		p := DefaultCwndTraceParams(3)
+		p.Seed = seed
+		p.Transport.Gamma = g
+		r, err := Fig1CwndTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFromTrace(fmt.Sprintf("gamma=%g", g), r))
+	}
+	return rows, nil
+}
+
+// AblationCompensation compares exit-window strategies: CircuitStart's
+// measured compensation, the literal in-round count, halving, and no
+// compensation at all (classic slow start), on the distant-bottleneck
+// scenario where compensation matters most.
+func AblationCompensation(seed int64) ([]AblationRow, error) {
+	type arm struct {
+		label string
+		opts  core.TransportOptions
+	}
+	arms := []arm{
+		{"measured (paper)", core.TransportOptions{Policy: "circuitstart", Compensation: transport.CompMeasured}},
+		{"counted (literal)", core.TransportOptions{Policy: "circuitstart", Compensation: transport.CompCounted}},
+		{"halving", core.TransportOptions{Policy: "circuitstart-halve"}},
+		{"classic slow start", core.TransportOptions{Policy: "slowstart"}},
+	}
+	rows := make([]AblationRow, 0, len(arms))
+	for _, a := range arms {
+		mustPolicy(orDefault(a.opts.Policy))
+		p := DefaultCwndTraceParams(3)
+		p.Seed = seed
+		p.Transport = a.opts
+		r, err := Fig1CwndTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFromTrace(a.label, r))
+	}
+	return rows, nil
+}
+
+// AblationFeedbackClock isolates the feedback-vs-ACK clocking choice:
+// the same compensated exit, driven by rounds of FEEDBACK (CircuitStart)
+// or by reception ACKs (a chained split-TCP-style ramp).
+func AblationFeedbackClock(seed int64) ([]AblationRow, error) {
+	type arm struct {
+		label string
+		opts  core.TransportOptions
+	}
+	arms := []arm{
+		{"feedback rounds (paper)", core.TransportOptions{Policy: "circuitstart"}},
+		{"ack clocked + compensation", core.TransportOptions{Policy: "slowstart-compensated"}},
+		{"ack clocked + ack window", core.TransportOptions{Policy: "slowstart-compensated", WindowClock: transport.ClockAck}},
+	}
+	rows := make([]AblationRow, 0, len(arms))
+	for _, a := range arms {
+		p := DefaultCwndTraceParams(3)
+		p.Seed = seed
+		p.Transport = a.opts
+		r, err := Fig1CwndTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFromTrace(a.label, r))
+	}
+	return rows, nil
+}
+
+// AblationBottleneckPosition sweeps the bottleneck hop 1..hops and
+// reports convergence per position — the paper's claim is position
+// independence ("quickly adjust the cwnd independently of the
+// bottleneck's location").
+func AblationBottleneckPosition(seed int64, hops int) ([]AblationRow, error) {
+	if hops <= 0 {
+		hops = 3
+	}
+	rows := make([]AblationRow, 0, hops)
+	for h := 1; h <= hops; h++ {
+		p := DefaultCwndTraceParams(h)
+		p.Seed = seed
+		p.Hops = hops
+		r, err := Fig1CwndTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFromTrace(fmt.Sprintf("bottleneck at hop %d", h), r))
+	}
+	return rows, nil
+}
+
+// ConcurrencyRow is one concurrency level's outcome.
+type ConcurrencyRow struct {
+	Circuits            int
+	MedianWith          float64 // seconds, CircuitStart
+	MedianWithout       float64 // seconds, plain BackTap
+	P90With, P90Without float64
+	IncompleteWith      int
+	IncompleteWithout   int
+}
+
+// AblationConcurrency sweeps the number of concurrent circuits in the
+// aggregate experiment and reports TTLB quantiles for both policies.
+func AblationConcurrency(seed int64, levels []int) ([]ConcurrencyRow, error) {
+	if len(levels) == 0 {
+		levels = []int{10, 25, 50, 100}
+	}
+	rows := make([]ConcurrencyRow, 0, len(levels))
+	for _, k := range levels {
+		p := DefaultCDFParams()
+		p.Seed = seed
+		p.Scenario.Circuits = k
+		// Keep the relay population proportional so load per relay is
+		// comparable across levels.
+		p.Scenario.Relays.N = maxInt(12, k*4/5)
+		res, err := Fig1DownloadCDF(p)
+		if err != nil {
+			return nil, err
+		}
+		with, without := res.Arm("circuitstart"), res.Arm("backtap")
+		row := ConcurrencyRow{Circuits: k}
+		if with.TTLB.Len() > 0 {
+			row.MedianWith = with.TTLB.Median()
+			row.P90With = with.TTLB.Quantile(0.9)
+		}
+		if without.TTLB.Len() > 0 {
+			row.MedianWithout = without.TTLB.Median()
+			row.P90Without = without.TTLB.Quantile(0.9)
+		}
+		row.IncompleteWith = with.Incomplete
+		row.IncompleteWithout = without.Incomplete
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DynamicRestartParams configures the future-work extension experiment:
+// the bottleneck's capacity steps up mid-transfer and the sender must
+// re-probe instead of crawling.
+type DynamicRestartParams struct {
+	Seed int64
+	// BeforeRate, AfterRate are the bottleneck's capacity before and
+	// after the step.
+	BeforeRate, AfterRate units.DataRate
+	// StepAt is when the capacity changes.
+	StepAt sim.Time
+	// Horizon bounds the run.
+	Horizon sim.Time
+	// RestartRounds configures the extension (-1 disables: baseline).
+	RestartRounds int
+}
+
+// DynamicRestartResult reports how quickly the window followed the step.
+type DynamicRestartResult struct {
+	Params DynamicRestartParams
+	// OptimalBefore/After are the model windows for the two regimes.
+	OptimalBefore, OptimalAfter float64
+	// WindowAtStep is the source window just before the step.
+	WindowAtStep float64
+	// RecoveryTime is how long after the step the window first reached
+	// 80% of the new optimal (negative = never).
+	RecoveryTime time.Duration
+	// FinalCells is the window at the horizon.
+	FinalCells float64
+	// Restarts counts re-probes the source performed.
+	Restarts uint64
+}
+
+// ExtensionDynamicRestart runs the capacity-step experiment: a circuit
+// whose bottleneck relay's access rate steps from BeforeRate to
+// AfterRate at StepAt (netem links apply a rate change from the next
+// frame onward). With the re-probe extension the source should find the
+// new capacity within a few round trips; without it, Vegas crawls up at
+// one cell per RTT.
+func ExtensionDynamicRestart(p DynamicRestartParams) (DynamicRestartResult, error) {
+	if p.BeforeRate <= 0 || p.AfterRate <= 0 {
+		return DynamicRestartResult{}, fmt.Errorf("experiments: rates must be positive")
+	}
+	if p.StepAt <= 0 {
+		p.StepAt = 1 * sim.Second
+	}
+	if p.Horizon <= p.StepAt {
+		p.Horizon = p.StepAt + 4*sim.Second
+	}
+
+	n := core.NewNetwork(p.Seed)
+	fast := units.Mbps(100)
+	delay := 5 * time.Millisecond
+	relays := []netem.NodeID{"r1", "r2", "r3"}
+	for _, id := range relays {
+		rate := fast
+		if id == "r2" {
+			rate = p.BeforeRate
+		}
+		if _, err := n.AddRelay(id, netem.Symmetric(rate, delay, 0)); err != nil {
+			return DynamicRestartResult{}, err
+		}
+	}
+	opts := core.TransportOptions{RestartRounds: p.RestartRounds}
+	c, err := n.BuildCircuit(core.CircuitSpec{
+		Source: "client", Sink: "server",
+		SourceAccess: netem.Symmetric(fast, delay, 0),
+		SinkAccess:   netem.Symmetric(fast, delay, 0),
+		Relays:       relays,
+		Transport:    opts,
+		TraceCwnd:    true,
+	})
+	if err != nil {
+		return DynamicRestartResult{}, err
+	}
+
+	res := DynamicRestartResult{Params: p}
+	res.OptimalBefore = c.ModelPath().OptimalSourceWindowCells()
+
+	bottleneck := n.Relay("r2").Port()
+	n.Clock().At(p.StepAt, func() {
+		bottleneck.Uplink().SetRate(p.AfterRate)
+		bottleneck.Downlink().SetRate(p.AfterRate)
+	})
+
+	// Keep the source backlogged across the whole horizon.
+	size := units.DataSize(float64(p.AfterRate.BytesPerSecond()) * p.Horizon.Seconds() * 2)
+	c.Transfer(size, nil)
+	n.RunUntil(p.Horizon)
+
+	// Optimal after the step, from a model path with the new rate.
+	after := make([]model.Node, 0, 5)
+	after = append(after, model.FromAccess(netem.Symmetric(fast, delay, 0)))
+	for _, id := range relays {
+		rate := fast
+		if id == "r2" {
+			rate = p.AfterRate
+		}
+		after = append(after, model.FromAccess(netem.Symmetric(rate, delay, 0)))
+	}
+	after = append(after, model.FromAccess(netem.Symmetric(fast, delay, 0)))
+	res.OptimalAfter = model.NewPath(after).OptimalSourceWindowCells()
+
+	tr := c.SourceTrace()
+	if v, ok := tr.At(p.StepAt); ok {
+		res.WindowAtStep = v
+	}
+	res.RecoveryTime = -1
+	target := 0.8 * res.OptimalAfter
+	for _, pt := range tr.Points() {
+		if pt.At > p.StepAt && pt.Value >= target {
+			res.RecoveryTime = pt.At.Sub(p.StepAt)
+			break
+		}
+	}
+	if last, ok := tr.Last(); ok {
+		res.FinalCells = last.Value
+	}
+	res.Restarts = c.SourceSender().Stats().Restarts
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func orDefault(policy string) string {
+	if policy == "" {
+		return "circuitstart"
+	}
+	return policy
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"circuitstart/internal/core"
+)
+
+// AblationExtensions quantifies the dynamic-adaptation extensions this
+// reproduction enables by default (DESIGN.md, deviations 6): the same
+// distant-bottleneck trace with both, either, and neither of severe
+// remeasure and accelerated re-probe.
+func AblationExtensions(seed int64) ([]AblationRow, error) {
+	type arm struct {
+		label string
+		opts  core.TransportOptions
+	}
+	arms := []arm{
+		{"both extensions (default)", core.TransportOptions{}},
+		{"remeasure only", core.TransportOptions{RestartRounds: -1}},
+		{"re-probe only", core.TransportOptions{SevereRemeasure: -1}},
+		{"paper-pure (neither)", core.TransportOptions{RestartRounds: -1, SevereRemeasure: -1}},
+	}
+	rows := make([]AblationRow, 0, len(arms))
+	for _, a := range arms {
+		p := DefaultCwndTraceParams(3)
+		p.Seed = seed
+		p.Transport = a.opts
+		r, err := Fig1CwndTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFromTrace(a.label, r))
+	}
+	return rows, nil
+}
+
+// AblationVegas sweeps the congestion-avoidance thresholds (α, β)
+// around BackTap's defaults (2, 4) on the near-bottleneck trace, where
+// the post-exit operating point is governed by avoidance.
+func AblationVegas(seed int64, pairs [][2]float64) ([]AblationRow, error) {
+	if len(pairs) == 0 {
+		pairs = [][2]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}, {6, 12}}
+	}
+	rows := make([]AblationRow, 0, len(pairs))
+	for _, ab := range pairs {
+		p := DefaultCwndTraceParams(1)
+		p.Seed = seed
+		p.Transport.Alpha = ab[0]
+		p.Transport.Beta = ab[1]
+		r, err := Fig1CwndTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFromTrace(fmt.Sprintf("alpha=%g beta=%g", ab[0], ab[1]), r))
+	}
+	return rows, nil
+}

@@ -1,0 +1,245 @@
+// Package experiments implements one entry point per figure of the
+// paper plus the ablations listed in DESIGN.md. Each experiment returns
+// a plain result struct that the CLI renders, benchmarks regenerate, and
+// tests assert shape properties on.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"circuitstart/internal/core"
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/transport"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// CwndTraceParams configures the single-circuit cwnd-over-time runs of
+// Figure 1's upper panels.
+type CwndTraceParams struct {
+	// Seed drives key generation (the scenario itself is deterministic).
+	Seed int64
+	// Hops is the number of relays on the circuit (paper: 3).
+	Hops int
+	// BottleneckHop places the slow relay: 1 = first relay ("distance
+	// to bottleneck: 1 hop") … Hops = exit relay.
+	BottleneckHop int
+	// BottleneckRate and FastRate set the slow relay's and every other
+	// node's access capacity.
+	BottleneckRate, FastRate units.DataRate
+	// AccessDelay is each node's one-way access propagation delay.
+	AccessDelay time.Duration
+	// Transport selects the start-up policy under test.
+	Transport core.TransportOptions
+	// TransferSize keeps the source backlogged for the horizon.
+	TransferSize units.DataSize
+	// Horizon bounds the simulation (paper plots 300 ms; a longer run
+	// also shows the post-convergence behaviour).
+	Horizon sim.Time
+}
+
+// DefaultCwndTraceParams mirrors the paper's setup: a 3-relay circuit
+// with an 8 Mbit/s bottleneck in an otherwise 100 Mbit/s overlay.
+func DefaultCwndTraceParams(bottleneckHop int) CwndTraceParams {
+	return CwndTraceParams{
+		Seed:           42,
+		Hops:           3,
+		BottleneckHop:  bottleneckHop,
+		BottleneckRate: units.Mbps(8),
+		FastRate:       units.Mbps(100),
+		AccessDelay:    5 * time.Millisecond,
+		TransferSize:   4 * units.Megabyte,
+		Horizon:        2 * sim.Second,
+	}
+}
+
+// CwndTraceResult is one Figure-1-upper-panel run.
+type CwndTraceResult struct {
+	Params CwndTraceParams
+	// Trace is the source's congestion window over time, in cells.
+	Trace *metrics.Series
+	// OptimalCells is the model's optimal source window (dashed line).
+	OptimalCells float64
+	// ExitCwnd and ExitTime describe the startup exit.
+	ExitCwnd float64
+	ExitTime sim.Time
+	// PeakCells is the largest window reached (overshoot magnitude).
+	PeakCells float64
+	// SettleTime is when the window entered ±50% of the optimal and
+	// stayed there for ≥ 80% of the remaining horizon (re-probe blips
+	// tolerated). Negative if it never converged.
+	SettleTime sim.Time
+	// FinalCells is the window at the horizon.
+	FinalCells float64
+}
+
+// CwndKBPoints renders the trace in the paper's units: (ms, KB).
+func (r CwndTraceResult) CwndKBPoints() []metrics.Point {
+	pts := make([]metrics.Point, r.Trace.Len())
+	for i, p := range r.Trace.Points() {
+		pts[i] = metrics.Point{At: p.At, Value: p.Value * 512 / 1000}
+	}
+	return pts
+}
+
+// Fig1CwndTrace runs one single-circuit trace (Figure 1, upper panels).
+func Fig1CwndTrace(p CwndTraceParams) (CwndTraceResult, error) {
+	if p.Hops < 1 {
+		return CwndTraceResult{}, fmt.Errorf("experiments: %d hops", p.Hops)
+	}
+	if p.BottleneckHop < 1 || p.BottleneckHop > p.Hops {
+		return CwndTraceResult{}, fmt.Errorf("experiments: bottleneck hop %d outside 1..%d", p.BottleneckHop, p.Hops)
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 2 * sim.Second
+	}
+
+	n := core.NewNetwork(p.Seed)
+	relayIDs := make([]netem.NodeID, p.Hops)
+	for i := range relayIDs {
+		id := netem.NodeID(fmt.Sprintf("relay-%d", i+1))
+		rate := p.FastRate
+		if i == p.BottleneckHop-1 {
+			rate = p.BottleneckRate
+		}
+		if _, err := n.AddRelay(id, netem.Symmetric(rate, p.AccessDelay, 0)); err != nil {
+			return CwndTraceResult{}, err
+		}
+		relayIDs[i] = id
+	}
+	c, err := n.BuildCircuit(core.CircuitSpec{
+		Source:       "client",
+		Sink:         "server",
+		SourceAccess: netem.Symmetric(p.FastRate, p.AccessDelay, 0),
+		SinkAccess:   netem.Symmetric(p.FastRate, p.AccessDelay, 0),
+		Relays:       relayIDs,
+		Transport:    p.Transport,
+		TraceCwnd:    true,
+	})
+	if err != nil {
+		return CwndTraceResult{}, err
+	}
+	c.Transfer(p.TransferSize, nil)
+	n.RunUntil(p.Horizon)
+
+	res := CwndTraceResult{
+		Params:       p,
+		Trace:        c.SourceTrace(),
+		OptimalCells: c.ModelPath().OptimalSourceWindowCells(),
+	}
+	st := c.SourceSender().Stats()
+	res.ExitCwnd = st.ExitCwnd
+	res.ExitTime = st.ExitTime
+	if peak, ok := res.Trace.Max(); ok {
+		res.PeakCells = peak
+	}
+	if last, ok := res.Trace.Last(); ok {
+		res.FinalCells = last.Value
+	}
+	if at, ok := res.Trace.ConvergeTime(res.OptimalCells, res.OptimalCells*0.5, 0.2); ok {
+		res.SettleTime = at
+	} else {
+		res.SettleTime = -1
+	}
+	return res, nil
+}
+
+// CDFParams configures the aggregate download experiment of Figure 1's
+// lower panel.
+type CDFParams struct {
+	Seed int64
+	// Scenario shapes the network and workload; the Transport.Policy
+	// field is overridden per arm.
+	Scenario workload.ScenarioParams
+	// Policies are the arms to compare. Default: circuitstart ("with")
+	// vs backtap ("without").
+	Policies []string
+	// Horizon bounds each arm's simulation.
+	Horizon sim.Time
+}
+
+// DefaultCDFParams mirrors the paper: 50 concurrent circuits over a
+// random Tor-like relay population.
+func DefaultCDFParams() CDFParams {
+	return CDFParams{
+		Seed:     42,
+		Scenario: workload.DefaultScenario(),
+		Policies: []string{"circuitstart", "backtap"},
+		Horizon:  600 * sim.Second,
+	}
+}
+
+// CDFArm is one policy's outcome distribution.
+type CDFArm struct {
+	Policy     string
+	TTLB       *metrics.Distribution // seconds
+	Incomplete int
+}
+
+// CDFResult is the Figure-1-lower-panel comparison.
+type CDFResult struct {
+	Params CDFParams
+	Arms   []CDFArm
+}
+
+// Arm returns the named arm, or nil.
+func (r CDFResult) Arm(policy string) *CDFArm {
+	for i := range r.Arms {
+		if r.Arms[i].Policy == policy {
+			return &r.Arms[i]
+		}
+	}
+	return nil
+}
+
+// MedianGap returns armA's median TTLB minus armB's, in seconds —
+// negative when A is faster. It panics if either arm is missing.
+func (r CDFResult) MedianGap(a, b string) float64 {
+	armA, armB := r.Arm(a), r.Arm(b)
+	if armA == nil || armB == nil {
+		panic(fmt.Sprintf("experiments: arms %q, %q not both present", a, b))
+	}
+	return armA.TTLB.Median() - armB.TTLB.Median()
+}
+
+// Fig1DownloadCDF runs the aggregate experiment once per policy arm on
+// identical topologies and workloads (same seed), so differences in the
+// TTLB distribution are attributable to the start-up scheme alone.
+func Fig1DownloadCDF(p CDFParams) (CDFResult, error) {
+	if len(p.Policies) == 0 {
+		p.Policies = []string{"circuitstart", "backtap"}
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 600 * sim.Second
+	}
+	res := CDFResult{Params: p}
+	for _, policy := range p.Policies {
+		sp := p.Scenario
+		sp.Transport.Policy = policy
+		sc, err := workload.Build(p.Seed, sp)
+		if err != nil {
+			return CDFResult{}, fmt.Errorf("experiments: arm %q: %w", policy, err)
+		}
+		arm := CDFArm{Policy: policy, TTLB: metrics.NewDistribution("ttlb_" + policy)}
+		for _, r := range sc.Run(p.Horizon) {
+			if !r.Done {
+				arm.Incomplete++
+				continue
+			}
+			arm.TTLB.Add(r.TTLB.Seconds())
+		}
+		res.Arms = append(res.Arms, arm)
+	}
+	return res, nil
+}
+
+// mustPolicy panics if the policy name is unknown — experiment tables
+// are static, so a typo is a programming error.
+func mustPolicy(name string) {
+	if _, err := transport.PolicyByName(name, 0); err != nil {
+		panic(err)
+	}
+}

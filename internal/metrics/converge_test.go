@@ -1,0 +1,93 @@
+package metrics
+
+import "testing"
+
+func TestConvergeTimeBasic(t *testing.T) {
+	s := NewSeries("cwnd")
+	s.Record(ms(0), 2)
+	s.Record(ms(10), 64) // overshoot
+	s.Record(ms(20), 40) // lands in band (target 38 ± 19)
+	s.Record(ms(100), 39)
+
+	at, ok := s.ConvergeTime(38, 19, 0.2)
+	if !ok || at != ms(20) {
+		t.Fatalf("ConvergeTime = %v, %v; want 20ms", at, ok)
+	}
+}
+
+func TestConvergeTimeToleratesBriefExcursion(t *testing.T) {
+	// In band from 20ms, one 10ms probe blip out of 200ms remaining:
+	// 5% outside < 20% tolerance — still converged at 20ms.
+	s := NewSeries("cwnd")
+	s.Record(ms(0), 2)
+	s.Record(ms(20), 38)
+	s.Record(ms(100), 90) // probe blip
+	s.Record(ms(110), 38)
+	s.Record(ms(220), 38)
+
+	at, ok := s.ConvergeTime(38, 19, 0.2)
+	if !ok || at != ms(20) {
+		t.Fatalf("ConvergeTime = %v, %v; want 20ms", at, ok)
+	}
+	// SettleTime, by contrast, resets on the blip.
+	if at, _ := s.SettleTime(38, 19); at == ms(20) {
+		t.Fatal("SettleTime should not tolerate the excursion")
+	}
+}
+
+func TestConvergeTimeRejectsSustainedExcursion(t *testing.T) {
+	// Out of band for half the remaining time: not converged at 20ms,
+	// converged only at the final return.
+	s := NewSeries("cwnd")
+	s.Record(ms(0), 2)
+	s.Record(ms(20), 38)
+	s.Record(ms(40), 90)
+	s.Record(ms(140), 38)
+	s.Record(ms(160), 38)
+
+	at, ok := s.ConvergeTime(38, 19, 0.2)
+	if !ok {
+		t.Fatal("never converged")
+	}
+	if at == ms(20) {
+		t.Fatal("converged at 20ms despite 100/140ms outside the band")
+	}
+	if at != ms(140) {
+		t.Fatalf("ConvergeTime = %v, want 140ms", at)
+	}
+}
+
+func TestConvergeTimeNever(t *testing.T) {
+	s := NewSeries("cwnd")
+	s.Record(ms(0), 2)
+	s.Record(ms(10), 4)
+	if _, ok := s.ConvergeTime(100, 5, 0.2); ok {
+		t.Fatal("converged onto unreachable target")
+	}
+	if _, ok := NewSeries("e").ConvergeTime(1, 1, 0.2); ok {
+		t.Fatal("empty series converged")
+	}
+}
+
+func TestConvergeTimeLastSample(t *testing.T) {
+	// A single in-band final sample counts (zero remaining time).
+	s := NewSeries("cwnd")
+	s.Record(ms(0), 100)
+	s.Record(ms(10), 38)
+	at, ok := s.ConvergeTime(38, 5, 0)
+	if !ok || at != ms(10) {
+		t.Fatalf("ConvergeTime = %v, %v", at, ok)
+	}
+}
+
+func TestConvergeTimeZeroTolerance(t *testing.T) {
+	// outlierFrac 0 reduces to strict settling.
+	s := NewSeries("cwnd")
+	s.Record(ms(0), 38)
+	s.Record(ms(10), 90)
+	s.Record(ms(20), 38)
+	at, ok := s.ConvergeTime(38, 5, 0)
+	if !ok || at != ms(20) {
+		t.Fatalf("ConvergeTime = %v, %v; want 20ms", at, ok)
+	}
+}

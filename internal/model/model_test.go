@@ -1,0 +1,227 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"circuitstart/internal/netem"
+	"circuitstart/internal/transport"
+	"circuitstart/internal/units"
+)
+
+func sym(rate units.DataRate, delay time.Duration) Node {
+	return Node{UpRate: rate, DownRate: rate, Delay: delay}
+}
+
+// fourNode builds source → R1 → R2 → sink with a configurable slow link.
+func fourNode(slow int, slowRate units.DataRate) Path {
+	nodes := make([]Node, 4)
+	for i := range nodes {
+		nodes[i] = sym(units.Mbps(100), 5*time.Millisecond)
+	}
+	nodes[slow].UpRate = slowRate
+	nodes[slow].DownRate = slowRate
+	return NewPath(nodes)
+}
+
+func TestNewPathValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []Node
+	}{
+		{"too short", []Node{sym(units.Mbps(1), 0)}},
+		{"zero rate", []Node{sym(0, 0), sym(units.Mbps(1), 0)}},
+		{"negative delay", []Node{sym(units.Mbps(1), -time.Millisecond), sym(units.Mbps(1), 0)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			NewPath(c.nodes)
+		})
+	}
+}
+
+func TestPathFromAccess(t *testing.T) {
+	cfgs := []netem.AccessConfig{
+		netem.Symmetric(units.Mbps(10), time.Millisecond, 0),
+		netem.Symmetric(units.Mbps(20), 2*time.Millisecond, 0),
+	}
+	p := PathFromAccess(cfgs)
+	if p.Hops() != 1 {
+		t.Fatalf("Hops = %d", p.Hops())
+	}
+	if p.Node(0).UpRate != units.Mbps(10) || p.Node(1).Delay != 2*time.Millisecond {
+		t.Fatalf("nodes not copied: %+v, %+v", p.Node(0), p.Node(1))
+	}
+}
+
+func TestBottleneckIdentification(t *testing.T) {
+	for slot := 1; slot <= 2; slot++ {
+		p := fourNode(slot, units.Mbps(8))
+		if got := p.BottleneckRate(); got != units.Mbps(8) {
+			t.Errorf("slot %d: BottleneckRate = %v", slot, got)
+		}
+	}
+	// Slow node 1 bottlenecks hop 0 (its downlink) — ties resolve to the
+	// hop closest to the source.
+	if got := fourNode(1, units.Mbps(8)).BottleneckHop(); got != 0 {
+		t.Errorf("BottleneckHop(node1 slow) = %d, want 0", got)
+	}
+	// Slow node 2: its downlink is on hop 1.
+	if got := fourNode(2, units.Mbps(8)).BottleneckHop(); got != 1 {
+		t.Errorf("BottleneckHop(node2 slow) = %d, want 1", got)
+	}
+	// Homogeneous path: hop 0 wins ties.
+	if got := fourNode(1, units.Mbps(100)).BottleneckHop(); got != 0 {
+		t.Errorf("BottleneckHop(homogeneous) = %d, want 0", got)
+	}
+}
+
+func TestFeedbackRTTAgainstHandComputation(t *testing.T) {
+	// 10 Mbit/s everywhere, 5 ms delays. One-way DATA = tx_up + 5ms +
+	// tx_down + 5ms; control the same with the smaller size.
+	rate := units.Mbps(10)
+	p := NewPath([]Node{sym(rate, 5*time.Millisecond), sym(rate, 5*time.Millisecond)})
+	txData := rate.TransmissionTime(transport.DataWireSize)
+	txCtrl := rate.TransmissionTime(transport.CtrlWireSize)
+	want := (txData + 10*time.Millisecond + txData) + (txCtrl + 10*time.Millisecond + txCtrl)
+	if got := p.FeedbackRTT(0); got != want {
+		t.Fatalf("FeedbackRTT = %v, want %v", got, want)
+	}
+	if got := p.AckRTT(0); got != want {
+		t.Fatalf("AckRTT = %v, want %v", got, want)
+	}
+}
+
+func TestCircuitRTTIsSumOfHops(t *testing.T) {
+	p := fourNode(2, units.Mbps(8))
+	var want time.Duration
+	for i := 0; i < p.Hops(); i++ {
+		want += p.oneWay(i, i+1, transport.DataWireSize) + p.oneWay(i+1, i, transport.CtrlWireSize)
+	}
+	if got := p.CircuitRTT(); got != want {
+		t.Fatalf("CircuitRTT = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalWindowScalesWithBottleneck(t *testing.T) {
+	slowPath := fourNode(2, units.Mbps(4))
+	fastPath := fourNode(2, units.Mbps(8))
+	ws, wf := slowPath.OptimalSourceWindowCells(), fastPath.OptimalSourceWindowCells()
+	if ws <= 0 || wf <= 0 {
+		t.Fatalf("non-positive windows %v, %v", ws, wf)
+	}
+	// Doubling the bottleneck roughly doubles the optimal window (the
+	// feedback RTT shifts slightly with serialization time, so allow 15%).
+	ratio := wf / ws
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("window ratio = %v, want ≈ 2", ratio)
+	}
+}
+
+func TestOptimalWindowIndependentOfBottleneckPosition(t *testing.T) {
+	// The paper's headline claim needs the target itself to be nearly
+	// position-independent for a symmetric path: same bottleneck rate at
+	// different hops gives nearly the same source window (feedback RTT of
+	// hop 0 changes only via serialization differences).
+	near := fourNode(1, units.Mbps(8)).OptimalSourceWindowCells()
+	far := fourNode(3, units.Mbps(8)).OptimalSourceWindowCells()
+	if math.Abs(near-far)/near > 0.25 {
+		t.Fatalf("optimal window varies too much with position: near=%v far=%v", near, far)
+	}
+}
+
+func TestOptimalWindowBytes(t *testing.T) {
+	p := fourNode(2, units.Mbps(8))
+	cells := p.OptimalSourceWindowCells()
+	bytes := p.OptimalSourceWindowBytes()
+	if bytes <= cells {
+		t.Fatalf("bytes %v not > cells %v", bytes, cells)
+	}
+	per := bytes / cells
+	if per != float64(transport.DataWireSize-transport.HeaderSize) {
+		t.Fatalf("bytes per cell = %v", per)
+	}
+}
+
+func TestLowerBoundTTLB(t *testing.T) {
+	p := fourNode(2, units.Mbps(8))
+	one := p.LowerBoundTTLB(1)
+	var firstCell time.Duration
+	for i := 0; i < p.Hops(); i++ {
+		firstCell += p.oneWay(i, i+1, transport.DataWireSize)
+	}
+	if one != firstCell {
+		t.Fatalf("LowerBoundTTLB(1) = %v, want %v", one, firstCell)
+	}
+	hundred := p.LowerBoundTTLB(100)
+	if hundred <= one {
+		t.Fatal("more cells should take longer")
+	}
+	// 99 additional cells at the bottleneck.
+	drain := time.Duration(99 * float64(transport.DataWireSize.Bits()) / float64(units.Mbps(8)) * float64(time.Second))
+	if diff := hundred - one - drain; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("drain time off by %v", diff)
+	}
+}
+
+func TestLowerBoundTTLBPanicsOnZeroCells(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	fourNode(1, units.Mbps(8)).LowerBoundTTLB(0)
+}
+
+func TestHopIndexValidation(t *testing.T) {
+	p := fourNode(1, units.Mbps(8))
+	for _, i := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FeedbackRTT(%d) did not panic", i)
+				}
+			}()
+			p.FeedbackRTT(i)
+		}()
+	}
+}
+
+// Property: the optimal window at the source never exceeds the window
+// computed for an otherwise-identical path whose bottleneck is faster,
+// and downstream rates are monotone along the path.
+func TestOptimalWindowMonotoneProperty(t *testing.T) {
+	f := func(rawRates [4]uint8, delayMS uint8) bool {
+		nodes := make([]Node, 4)
+		for i, r := range rawRates {
+			mbps := 1 + float64(r%100)
+			nodes[i] = sym(units.Mbps(mbps), time.Duration(delayMS%20)*time.Millisecond)
+		}
+		p := NewPath(nodes)
+		// Downstream bottleneck rate is non-decreasing as we move toward
+		// the sink (the min is over a shrinking suffix).
+		for i := 0; i+1 < p.Hops(); i++ {
+			if p.downstreamRate(i) > p.downstreamRate(i+1) {
+				return false
+			}
+		}
+		// Speeding every node up never shrinks the optimal window.
+		faster := make([]Node, 4)
+		for i := range nodes {
+			faster[i] = nodes[i]
+			faster[i].UpRate *= 2
+			faster[i].DownRate *= 2
+		}
+		return NewPath(faster).OptimalSourceWindowCells() >= p.OptimalSourceWindowCells()*0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

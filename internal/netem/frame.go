@@ -1,0 +1,49 @@
+// Package netem emulates the network layer the overlay runs on:
+// point-to-point links with finite bandwidth, propagation delay and
+// drop-tail queues, wired into a star topology through a switch.
+//
+// This replaces the ns-3 substrate used by the paper's nstor framework.
+// The fidelity target is network-level behaviour (the only thing the
+// paper's results depend on): serialization delay, queueing delay,
+// propagation delay, and tail drops. There is no layer-2/3 header
+// modelling — the overlay's fixed-size cells are the unit of transfer
+// and their wire size already accounts for framing overhead.
+package netem
+
+import (
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+// NodeID names an attached node. IDs are plain strings so traces and
+// test failures read naturally ("relay-2", "client-17").
+type NodeID string
+
+// Frame is one unit of data in flight on a link. Size is the wire size
+// used for serialization-time and queue-occupancy accounting; Payload is
+// opaque to the network layer (the overlay puts cells here).
+type Frame struct {
+	Src, Dst NodeID
+	Size     units.DataSize
+	Payload  any
+	// Priority frames (transport control segments: ACK, FEEDBACK,
+	// PROBE) are serialized ahead of waiting data frames. Without this,
+	// feedback from a saturated relay queues behind the very cells it
+	// reports on, and every delay-based estimator upstream reads the
+	// reverse-path queue as forward-path congestion.
+	Priority bool
+
+	enqueuedAt sim.Time // set by Link for queue-delay accounting
+}
+
+// Handler consumes frames delivered by the network layer.
+type Handler interface {
+	// Deliver hands a frame that has fully arrived to the receiver.
+	Deliver(f *Frame)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(f *Frame)
+
+// Deliver implements Handler.
+func (h HandlerFunc) Deliver(f *Frame) { h(f) }

@@ -1,0 +1,205 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+// LinkConfig describes a unidirectional point-to-point link.
+type LinkConfig struct {
+	// Rate is the serialization rate. Must be positive.
+	Rate units.DataRate
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueCap bounds the egress queue in bytes, *excluding* the frame
+	// currently being serialized. Zero means unbounded (useful for
+	// analytically clean single-flow experiments; the paper's scenarios
+	// rely on backpressure rather than drops).
+	QueueCap units.DataSize
+	// LossProb drops each frame independently with this probability
+	// after serialization ("in flight"), emulating lossy paths for the
+	// failure-injection tests. Requires RNG when non-zero.
+	LossProb float64
+	// RNG drives random loss. Only consulted when LossProb > 0.
+	RNG *sim.RNG
+}
+
+// LinkStats counts what happened on a link. All counters are cumulative.
+type LinkStats struct {
+	Enqueued    uint64         // frames accepted into the queue
+	Delivered   uint64         // frames handed to the receiver
+	TailDrops   uint64         // frames dropped because the queue was full
+	RandomLoss  uint64         // frames dropped by the loss process
+	BytesOut    units.DataSize // payload bytes delivered
+	QueueDelay  time.Duration  // total time frames spent queued (excl. serialization)
+	MaxQueueLen int            // high-water mark of queued frames
+}
+
+// Link is a unidirectional pipe with a drop-tail FIFO, a serializer that
+// transmits one frame at a time at the configured rate, and a
+// propagation-delay stage. It is the only place in the simulator where
+// bandwidth contention happens.
+type Link struct {
+	name  string
+	clock *sim.Clock
+	cfg   LinkConfig
+	dst   Handler
+
+	queue       []*Frame // data frames
+	prioQueue   []*Frame // control frames, serialized first
+	queuedBytes units.DataSize
+	busy        bool
+
+	stats LinkStats
+
+	// OnDrop, if non-nil, observes every dropped frame (tail drop or
+	// random loss). Tests use it for failure injection assertions.
+	OnDrop func(f *Frame, reason DropReason)
+}
+
+// DropReason says why a frame was discarded.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropTail DropReason = iota // egress queue full
+	DropLoss                   // random loss process
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropTail:
+		return "tail-drop"
+	case DropLoss:
+		return "random-loss"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// NewLink creates a link feeding dst. Name appears in panics and traces.
+func NewLink(name string, clock *sim.Clock, cfg LinkConfig, dst Handler) *Link {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("netem: link %q with non-positive rate %v", name, cfg.Rate))
+	}
+	if cfg.Delay < 0 {
+		panic(fmt.Sprintf("netem: link %q with negative delay %v", name, cfg.Delay))
+	}
+	if cfg.LossProb < 0 || cfg.LossProb > 1 {
+		panic(fmt.Sprintf("netem: link %q with loss probability %v outside [0,1]", name, cfg.LossProb))
+	}
+	if cfg.LossProb > 0 && cfg.RNG == nil {
+		panic(fmt.Sprintf("netem: link %q has loss but no RNG", name))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("netem: link %q with nil destination", name))
+	}
+	return &Link{name: name, clock: clock, cfg: cfg, dst: dst}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetRate changes the link's serialization rate. The new rate applies
+// from the next frame onward (a frame already serializing finishes at
+// the old rate). Experiments use it to model capacity changes mid-run.
+func (l *Link) SetRate(r units.DataRate) {
+	if r <= 0 {
+		panic(fmt.Sprintf("netem: link %q SetRate(%v)", l.name, r))
+	}
+	l.cfg.Rate = r
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the number of frames waiting (not counting the one in
+// serialization), across both priority classes.
+func (l *Link) QueueLen() int { return len(l.queue) + len(l.prioQueue) }
+
+// QueuedBytes returns the bytes waiting in the queue.
+func (l *Link) QueuedBytes() units.DataSize { return l.queuedBytes }
+
+// Busy reports whether a frame is currently being serialized.
+func (l *Link) Busy() bool { return l.busy }
+
+// Send offers a frame to the link. If the queue has room it is accepted
+// and will eventually be delivered (unless randomly lost); otherwise it
+// is tail-dropped. Send reports whether the frame was accepted.
+func (l *Link) Send(f *Frame) bool {
+	if f.Size <= 0 {
+		panic(fmt.Sprintf("netem: link %q sending frame with non-positive size %v", l.name, f.Size))
+	}
+	if l.cfg.QueueCap > 0 && l.queuedBytes+f.Size > l.cfg.QueueCap {
+		l.stats.TailDrops++
+		if l.OnDrop != nil {
+			l.OnDrop(f, DropTail)
+		}
+		return false
+	}
+	f.enqueuedAt = l.clock.Now()
+	if f.Priority {
+		l.prioQueue = append(l.prioQueue, f)
+	} else {
+		l.queue = append(l.queue, f)
+	}
+	l.queuedBytes += f.Size
+	l.stats.Enqueued++
+	if n := len(l.queue) + len(l.prioQueue); n > l.stats.MaxQueueLen {
+		l.stats.MaxQueueLen = n
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+	return true
+}
+
+// transmitNext pops the next frame — control before data, FIFO within
+// each class — and serializes it.
+func (l *Link) transmitNext() {
+	var f *Frame
+	switch {
+	case len(l.prioQueue) > 0:
+		f = l.prioQueue[0]
+		copy(l.prioQueue, l.prioQueue[1:])
+		l.prioQueue[len(l.prioQueue)-1] = nil
+		l.prioQueue = l.prioQueue[:len(l.prioQueue)-1]
+	case len(l.queue) > 0:
+		f = l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue[len(l.queue)-1] = nil
+		l.queue = l.queue[:len(l.queue)-1]
+	default:
+		l.busy = false
+		return
+	}
+	l.queuedBytes -= f.Size
+	l.stats.QueueDelay += l.clock.Now().Sub(f.enqueuedAt)
+
+	l.busy = true
+	txTime := l.cfg.Rate.TransmissionTime(f.Size)
+	l.clock.After(txTime, func() {
+		// Serialization finished: the link head is free for the next
+		// frame while this one propagates.
+		lost := l.cfg.LossProb > 0 && l.cfg.RNG.Bernoulli(l.cfg.LossProb)
+		if lost {
+			l.stats.RandomLoss++
+			if l.OnDrop != nil {
+				l.OnDrop(f, DropLoss)
+			}
+		} else {
+			l.clock.After(l.cfg.Delay, func() {
+				l.stats.Delivered++
+				l.stats.BytesOut += f.Size
+				l.dst.Deliver(f)
+			})
+		}
+		l.transmitNext()
+	})
+}

@@ -1,0 +1,252 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+// sink collects delivered frames with their arrival times.
+type sink struct {
+	clock  *sim.Clock
+	frames []*Frame
+	times  []sim.Time
+}
+
+func (s *sink) Deliver(f *Frame) {
+	s.frames = append(s.frames, f)
+	s.times = append(s.times, s.clock.Now())
+}
+
+func newTestLink(t *testing.T, cfg LinkConfig) (*sim.Clock, *Link, *sink) {
+	t.Helper()
+	clock := sim.NewClock()
+	dst := &sink{clock: clock}
+	return clock, NewLink("test", clock, cfg, dst), dst
+}
+
+func TestLinkDeliveryLatency(t *testing.T) {
+	// 512B at 8 Mbit/s = 512µs serialization + 10ms propagation.
+	clock, link, dst := newTestLink(t, LinkConfig{Rate: units.Mbps(8), Delay: 10 * time.Millisecond})
+	link.Send(&Frame{Src: "a", Dst: "b", Size: 512})
+	clock.Run()
+	if len(dst.frames) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(dst.frames))
+	}
+	want := sim.Time(512*time.Microsecond + 10*time.Millisecond)
+	if dst.times[0] != want {
+		t.Errorf("delivered at %v, want %v", dst.times[0], want)
+	}
+}
+
+func TestLinkSerializesSequentially(t *testing.T) {
+	// Two back-to-back frames: second arrives one serialization time
+	// after the first (pipelined through propagation).
+	clock, link, dst := newTestLink(t, LinkConfig{Rate: units.Mbps(8), Delay: 10 * time.Millisecond})
+	link.Send(&Frame{Src: "a", Dst: "b", Size: 512})
+	link.Send(&Frame{Src: "a", Dst: "b", Size: 512})
+	clock.Run()
+	if len(dst.times) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(dst.times))
+	}
+	gap := dst.times[1].Sub(dst.times[0])
+	if gap != 512*time.Microsecond {
+		t.Errorf("inter-arrival gap %v, want 512µs (one serialization time)", gap)
+	}
+}
+
+func TestLinkPreservesFIFOOrder(t *testing.T) {
+	clock, link, dst := newTestLink(t, LinkConfig{Rate: units.Mbps(100), Delay: time.Millisecond})
+	for i := 0; i < 20; i++ {
+		link.Send(&Frame{Src: "a", Dst: "b", Size: 512, Payload: i})
+	}
+	clock.Run()
+	if len(dst.frames) != 20 {
+		t.Fatalf("delivered %d, want 20", len(dst.frames))
+	}
+	for i, f := range dst.frames {
+		if f.Payload.(int) != i {
+			t.Fatalf("frame %d carries payload %v: order violated", i, f.Payload)
+		}
+	}
+}
+
+func TestLinkTailDrop(t *testing.T) {
+	// Queue capacity of 2 cells: with one in serialization, the 4th
+	// concurrent send must be dropped.
+	clock, link, dst := newTestLink(t, LinkConfig{
+		Rate: units.Mbps(1), Delay: time.Millisecond, QueueCap: 1024,
+	})
+	var drops []DropReason
+	link.OnDrop = func(f *Frame, r DropReason) { drops = append(drops, r) }
+
+	accepted := 0
+	for i := 0; i < 4; i++ {
+		if link.Send(&Frame{Src: "a", Dst: "b", Size: 512}) {
+			accepted++
+		}
+	}
+	// First send goes straight into serialization (queue momentarily
+	// empty again), two fill the queue, the fourth overflows.
+	if accepted != 3 {
+		t.Errorf("accepted %d frames, want 3", accepted)
+	}
+	clock.Run()
+	if len(dst.frames) != 3 {
+		t.Errorf("delivered %d frames, want 3", len(dst.frames))
+	}
+	st := link.Stats()
+	if st.TailDrops != 1 {
+		t.Errorf("TailDrops = %d, want 1", st.TailDrops)
+	}
+	if len(drops) != 1 || drops[0] != DropTail {
+		t.Errorf("OnDrop saw %v, want one tail-drop", drops)
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	clock := sim.NewClock()
+	dst := &sink{clock: clock}
+	rng := sim.NewRNG(42, "loss")
+	link := NewLink("lossy", clock, LinkConfig{
+		Rate: units.Mbps(100), Delay: time.Millisecond, LossProb: 0.3, RNG: rng,
+	}, dst)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		link.Send(&Frame{Src: "a", Dst: "b", Size: 512})
+	}
+	clock.Run()
+	st := link.Stats()
+	if st.Delivered+st.RandomLoss != n {
+		t.Fatalf("delivered %d + lost %d != %d", st.Delivered, st.RandomLoss, n)
+	}
+	lossRate := float64(st.RandomLoss) / n
+	if lossRate < 0.25 || lossRate > 0.35 {
+		t.Errorf("observed loss rate %.3f, want ≈0.3", lossRate)
+	}
+}
+
+func TestLinkStatsAccounting(t *testing.T) {
+	clock, link, _ := newTestLink(t, LinkConfig{Rate: units.Mbps(8), Delay: 0})
+	for i := 0; i < 5; i++ {
+		link.Send(&Frame{Src: "a", Dst: "b", Size: 512})
+	}
+	clock.Run()
+	st := link.Stats()
+	if st.Enqueued != 5 || st.Delivered != 5 {
+		t.Errorf("Enqueued=%d Delivered=%d, want 5/5", st.Enqueued, st.Delivered)
+	}
+	if st.BytesOut != 5*512 {
+		t.Errorf("BytesOut = %v, want 2560", st.BytesOut)
+	}
+	if st.MaxQueueLen != 4 {
+		// 5 concurrent sends: head enters serialization, 4 queue.
+		t.Errorf("MaxQueueLen = %d, want 4", st.MaxQueueLen)
+	}
+	// Queue delay: frame i waits i serialization times ≈ i·512µs.
+	wantDelay := time.Duration(1+2+3+4) * 512 * time.Microsecond
+	if st.QueueDelay != wantDelay {
+		t.Errorf("QueueDelay = %v, want %v", st.QueueDelay, wantDelay)
+	}
+}
+
+func TestLinkThroughputMatchesRate(t *testing.T) {
+	// Saturate a 4 Mbit/s link for 1000 cells and check goodput.
+	clock, link, dst := newTestLink(t, LinkConfig{Rate: units.Mbps(4), Delay: 5 * time.Millisecond})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		link.Send(&Frame{Src: "a", Dst: "b", Size: 512})
+	}
+	end := clock.Run()
+	if len(dst.frames) != n {
+		t.Fatalf("delivered %d frames", len(dst.frames))
+	}
+	elapsed := end.Duration() - 5*time.Millisecond // subtract propagation
+	rate := units.RateFromTransfer(n*512, elapsed)
+	if r := rate.Mbit(); r < 3.99 || r > 4.01 {
+		t.Errorf("achieved %.3f Mbit/s on a 4 Mbit/s link", r)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	clock := sim.NewClock()
+	dst := &sink{clock: clock}
+	cases := []struct {
+		name string
+		cfg  LinkConfig
+		dst  Handler
+	}{
+		{"zero rate", LinkConfig{Rate: 0}, dst},
+		{"negative delay", LinkConfig{Rate: 1, Delay: -time.Second}, dst},
+		{"bad loss prob", LinkConfig{Rate: 1, LossProb: 1.5}, dst},
+		{"loss without rng", LinkConfig{Rate: 1, LossProb: 0.1}, dst},
+		{"nil dst", LinkConfig{Rate: 1}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLink(%s) did not panic", tc.name)
+				}
+			}()
+			NewLink("bad", clock, tc.cfg, tc.dst)
+		})
+	}
+}
+
+func TestLinkSendZeroSizePanics(t *testing.T) {
+	_, link, _ := newTestLink(t, LinkConfig{Rate: units.Mbps(1)})
+	defer func() {
+		if recover() == nil {
+			t.Error("Send with zero size did not panic")
+		}
+	}()
+	link.Send(&Frame{Src: "a", Dst: "b", Size: 0})
+}
+
+// Property: with an unbounded queue and no loss, every frame is
+// delivered exactly once, in order, and total delivery time is at least
+// the analytic lower bound (sum of serializations + propagation).
+func TestPropertyLinkConservation(t *testing.T) {
+	f := func(sizes []uint8, mbps uint8, delayMs uint8) bool {
+		if mbps == 0 || len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 100 {
+			sizes = sizes[:100]
+		}
+		clock := sim.NewClock()
+		dst := &sink{clock: clock}
+		rate := units.Mbps(float64(mbps))
+		delay := time.Duration(delayMs) * time.Millisecond
+		link := NewLink("prop", clock, LinkConfig{Rate: rate, Delay: delay}, dst)
+		var total units.DataSize
+		for i, s := range sizes {
+			size := units.DataSize(s) + 1
+			total += size
+			if !link.Send(&Frame{Src: "a", Dst: "b", Size: size, Payload: i}) {
+				return false
+			}
+		}
+		end := clock.Run()
+		if len(dst.frames) != len(sizes) {
+			return false
+		}
+		for i, fr := range dst.frames {
+			if fr.Payload.(int) != i {
+				return false
+			}
+		}
+		// TransmissionTime rounds up to the nanosecond; computing it
+		// once over the total can land 1 ns above the sum of the
+		// per-frame roundings (float ceil), so allow that slack.
+		lower := rate.TransmissionTime(total) + delay - time.Nanosecond
+		return end.Duration() >= lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+// AccessConfig describes a node's attachment to the star: an uplink
+// (node → switch) and a downlink (switch → node). The paper's evaluation
+// connects randomly generated Tor relays "in a star topology", so a
+// relay's access capacity is the natural bottleneck location.
+type AccessConfig struct {
+	UpRate   units.DataRate
+	DownRate units.DataRate
+	// Delay is the one-way propagation delay of each access link; the
+	// node-to-node one-way delay through the switch is the sum of the
+	// two nodes' Delays.
+	Delay time.Duration
+	// QueueCap bounds each access link's queue (0 = unbounded).
+	QueueCap units.DataSize
+	// LossProb applies independently on both access links.
+	LossProb float64
+}
+
+// Symmetric returns an AccessConfig with equal up/down rate.
+func Symmetric(rate units.DataRate, delay time.Duration, queueCap units.DataSize) AccessConfig {
+	return AccessConfig{UpRate: rate, DownRate: rate, Delay: delay, QueueCap: queueCap}
+}
+
+// Port is a node's view of the network: it sends frames into its uplink
+// and receives deliveries from its downlink.
+type Port struct {
+	id   NodeID
+	star *Star
+	up   *Link // node → switch
+	down *Link // switch → node
+	cfg  AccessConfig
+}
+
+// ID returns the node ID this port belongs to.
+func (p *Port) ID() NodeID { return p.id }
+
+// Config returns the access configuration.
+func (p *Port) Config() AccessConfig { return p.cfg }
+
+// Uplink exposes the node → switch link (for stats and tests).
+func (p *Port) Uplink() *Link { return p.up }
+
+// Downlink exposes the switch → node link (for stats and tests).
+func (p *Port) Downlink() *Link { return p.down }
+
+// Send transmits payload of the given wire size to dst. It reports
+// whether the uplink accepted the frame.
+func (p *Port) Send(dst NodeID, size units.DataSize, payload any) bool {
+	return p.up.Send(&Frame{Src: p.id, Dst: dst, Size: size, Payload: payload})
+}
+
+// SendPriority transmits a control payload that serializes ahead of
+// queued data frames on every link it crosses (the priority bit travels
+// with the frame through the switch).
+func (p *Port) SendPriority(dst NodeID, size units.DataSize, payload any) bool {
+	return p.up.Send(&Frame{Src: p.id, Dst: dst, Size: size, Payload: payload, Priority: true})
+}
+
+// Star is a hub-and-spoke topology: every node connects to a central
+// switch that forwards frames to the destination's downlink. The switch
+// fabric itself is non-blocking; all contention happens on access links.
+type Star struct {
+	clock *sim.Clock
+	ports map[NodeID]*Port
+
+	// unknownDst counts frames addressed to detached nodes.
+	unknownDst uint64
+}
+
+// NewStar creates an empty star network on the given clock.
+func NewStar(clock *sim.Clock) *Star {
+	if clock == nil {
+		panic("netem: NewStar with nil clock")
+	}
+	return &Star{clock: clock, ports: make(map[NodeID]*Port)}
+}
+
+// Clock returns the simulation clock the network runs on.
+func (s *Star) Clock() *sim.Clock { return s.clock }
+
+// Attach connects a node to the star. The handler receives every frame
+// addressed to id. Attach panics if id is already attached — silently
+// replacing a node's handler would invalidate running experiments.
+func (s *Star) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RNG) *Port {
+	if _, dup := s.ports[id]; dup {
+		panic(fmt.Sprintf("netem: node %q attached twice", id))
+	}
+	if h == nil {
+		panic(fmt.Sprintf("netem: node %q attached with nil handler", id))
+	}
+	p := &Port{id: id, star: s, cfg: cfg}
+	p.up = NewLink(string(id)+"/up", s.clock, LinkConfig{
+		Rate: cfg.UpRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
+		LossProb: cfg.LossProb, RNG: rng,
+	}, HandlerFunc(s.route))
+	p.down = NewLink(string(id)+"/down", s.clock, LinkConfig{
+		Rate: cfg.DownRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
+		LossProb: cfg.LossProb, RNG: rng,
+	}, h)
+	s.ports[id] = p
+	return p
+}
+
+// route is the switch fabric: a frame arriving from any uplink is
+// forwarded onto the destination's downlink with zero switching delay.
+func (s *Star) route(f *Frame) {
+	dst, ok := s.ports[f.Dst]
+	if !ok {
+		s.unknownDst++
+		return
+	}
+	dst.down.Send(f)
+}
+
+// Port returns the port of an attached node, or nil.
+func (s *Star) Port(id NodeID) *Port { return s.ports[id] }
+
+// Nodes returns the attached node IDs in sorted order (deterministic
+// iteration for seeding and reporting).
+func (s *Star) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(s.ports))
+	for id := range s.ports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// UnknownDst returns how many frames were addressed to detached nodes.
+func (s *Star) UnknownDst() uint64 { return s.unknownDst }
+
+// PathRTT returns the analytic no-queueing round-trip time between two
+// attached nodes for a frame of the given size in each direction: two
+// serializations and two propagation hops each way. The optimal-window
+// model builds on this.
+func (s *Star) PathRTT(a, b NodeID, size units.DataSize) time.Duration {
+	pa, pb := s.ports[a], s.ports[b]
+	if pa == nil || pb == nil {
+		panic(fmt.Sprintf("netem: PathRTT between unattached nodes %q, %q", a, b))
+	}
+	fwd := pa.cfg.UpRate.TransmissionTime(size) + pa.cfg.Delay +
+		pb.cfg.DownRate.TransmissionTime(size) + pb.cfg.Delay
+	rev := pb.cfg.UpRate.TransmissionTime(size) + pb.cfg.Delay +
+		pa.cfg.DownRate.TransmissionTime(size) + pa.cfg.Delay
+	return fwd + rev
+}
+
+// PathOneWay returns the analytic no-queueing one-way latency from a to
+// b for a frame of the given size.
+func (s *Star) PathOneWay(a, b NodeID, size units.DataSize) time.Duration {
+	pa, pb := s.ports[a], s.ports[b]
+	if pa == nil || pb == nil {
+		panic(fmt.Sprintf("netem: PathOneWay between unattached nodes %q, %q", a, b))
+	}
+	return pa.cfg.UpRate.TransmissionTime(size) + pa.cfg.Delay +
+		pb.cfg.DownRate.TransmissionTime(size) + pb.cfg.Delay
+}
+
+// BottleneckRate returns the minimum forwarding rate along the node
+// sequence path (uplink of each sender, downlink of each receiver).
+func (s *Star) BottleneckRate(path []NodeID) units.DataRate {
+	if len(path) < 2 {
+		panic("netem: BottleneckRate needs at least two nodes")
+	}
+	min := units.DataRate(1<<63 - 1)
+	for i := 0; i < len(path)-1; i++ {
+		src, dst := s.ports[path[i]], s.ports[path[i+1]]
+		if src == nil || dst == nil {
+			panic(fmt.Sprintf("netem: BottleneckRate over unattached hop %q→%q", path[i], path[i+1]))
+		}
+		if src.cfg.UpRate < min {
+			min = src.cfg.UpRate
+		}
+		if dst.cfg.DownRate < min {
+			min = dst.cfg.DownRate
+		}
+	}
+	return min
+}

@@ -1,0 +1,87 @@
+package onion
+
+import (
+	"testing"
+
+	"circuitstart/internal/cell"
+)
+
+type benchRand struct{ ctr byte }
+
+func (r *benchRand) Read(p []byte) (int, error) {
+	for i := range p {
+		r.ctr += 31
+		p[i] = r.ctr ^ byte(i)
+	}
+	return len(p), nil
+}
+
+// BenchmarkWrapForward measures the client-side cost of sealing and
+// triple-encrypting one 512 B cell.
+func BenchmarkWrapForward(b *testing.B) {
+	rnd := &benchRand{}
+	idents := make([]*Identity, 3)
+	for i := range idents {
+		id, err := NewIdentity(rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idents[i] = id
+	}
+	cc, _, err := BuildCircuit(rnd, idents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := &cell.Cell{}
+	if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, make([]byte, cell.MaxRelayData)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(cell.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.WrapForward(c)
+	}
+}
+
+// BenchmarkDecryptForward measures the relay-side cost per cell: one
+// layer of stream decryption.
+func BenchmarkDecryptForward(b *testing.B) {
+	rnd := &benchRand{}
+	id, err := NewIdentity(rnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, create, err := ClientHandshake(rnd, id.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rk, err := id.RelayHandshake(create)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := &cell.Cell{}
+	b.SetBytes(cell.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rk.DecryptForward(c)
+	}
+}
+
+// BenchmarkHandshake measures full circuit key establishment (3 hops).
+func BenchmarkHandshake(b *testing.B) {
+	rnd := &benchRand{}
+	idents := make([]*Identity, 3)
+	for i := range idents {
+		id, err := NewIdentity(rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idents[i] = id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildCircuit(rnd, idents); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

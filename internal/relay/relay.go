@@ -1,0 +1,285 @@
+// Package relay implements the overlay relay node: circuit multiplexing,
+// one onion-layer decryption per forwarded cell, and the wiring between
+// the per-hop transport receiver (from the predecessor) and sender (to
+// the successor) that produces the paper's feedback signal — "when
+// forwarding a cell to its successor, each relay issues a feedback
+// message to its predecessor, signaling cells are 'moving'".
+package relay
+
+import (
+	"fmt"
+
+	"circuitstart/internal/cell"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/onion"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/transport"
+)
+
+// Stats counts relay-level activity across all circuits.
+type Stats struct {
+	CellsForwarded uint64 // cells passed to an onward sender
+	Recognized     uint64 // cells that fully decrypted at this relay
+	Corrupt        uint64 // recognized cells failing digest verification
+	UnknownCircuit uint64 // frames for circuits this relay doesn't carry
+	UnknownSource  uint64 // frames from nodes that are neither pred nor succ
+}
+
+// hop is one circuit's state at this relay: an independent transport
+// instance per direction. Forward runs pred → succ (one onion layer
+// removed here); backward runs succ → pred (one layer added here; the
+// exit relay additionally seals the plaintext first).
+type hop struct {
+	circ cell.CircID
+	pred netem.NodeID
+	succ netem.NodeID
+	keys *onion.HopKeys
+	exit bool
+
+	recv *transport.Receiver // forward data from pred
+	send *transport.Sender   // forward data to succ
+
+	brecv *transport.Receiver // backward data from succ
+	bsend *transport.Sender   // backward data to pred
+}
+
+// Relay is a store-and-forward overlay node. Attach it to a netem.Star,
+// then add one forward hop per circuit passing through it.
+type Relay struct {
+	id    netem.NodeID
+	clock *sim.Clock
+	port  *netem.Port
+	hops  map[cell.CircID]*hop
+	stats Stats
+}
+
+// New creates a relay and attaches it to the star.
+func New(id netem.NodeID, star *netem.Star, access netem.AccessConfig, rng *sim.RNG) *Relay {
+	r := &Relay{
+		id:    id,
+		clock: star.Clock(),
+		hops:  make(map[cell.CircID]*hop),
+	}
+	r.port = star.Attach(id, access, netem.HandlerFunc(r.deliver), rng)
+	return r
+}
+
+// ID returns the relay's node ID.
+func (r *Relay) ID() netem.NodeID { return r.id }
+
+// Port returns the relay's network attachment (for link stats in tests
+// and experiments).
+func (r *Relay) Port() *netem.Port { return r.port }
+
+// Stats returns a snapshot of the relay counters.
+func (r *Relay) Stats() Stats { return r.stats }
+
+// HopSender returns the onward transport sender for a circuit, or nil.
+// Experiments use it to observe per-relay window traces (the emergent
+// back-propagation of the bottleneck window).
+func (r *Relay) HopSender(circ cell.CircID) *transport.Sender {
+	h := r.hops[circ]
+	if h == nil {
+		return nil
+	}
+	return h.send
+}
+
+// BackwardHopSender returns the backward-direction sender (toward the
+// predecessor) for a circuit, or nil.
+func (r *Relay) BackwardHopSender(circ cell.CircID) *transport.Sender {
+	h := r.hops[circ]
+	if h == nil {
+		return nil
+	}
+	return h.bsend
+}
+
+// HopReceiver returns the inbound transport receiver for a circuit, or
+// nil. Tests use it to assert reception-side invariants.
+func (r *Relay) HopReceiver(circ cell.CircID) *transport.Receiver {
+	h := r.hops[circ]
+	if h == nil {
+		return nil
+	}
+	return h.recv
+}
+
+// AddForwardHop registers a forward-only circuit hop (see AddHop).
+func (r *Relay) AddForwardHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.HopKeys, params transport.Config) {
+	r.AddHop(circ, pred, succ, keys, params, false)
+}
+
+// AddHop registers a circuit through this relay, in both directions.
+// Forward: cells arrive from pred, have one onion layer removed with
+// keys, and are forwarded to succ. Backward: cells arrive from succ,
+// gain one layer (the exit relay seals the plaintext first), and are
+// forwarded to pred. params is a template whose Clock, Circ, Send and
+// OnFirstTransmit fields are filled in here, once per direction.
+func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.HopKeys, params transport.Config, exit bool) {
+	if _, dup := r.hops[circ]; dup {
+		panic(fmt.Sprintf("relay %s: circuit %d added twice", r.id, circ))
+	}
+	if keys == nil {
+		panic(fmt.Sprintf("relay %s: circuit %d without hop keys", r.id, circ))
+	}
+	h := &hop{circ: circ, pred: pred, succ: succ, keys: keys, exit: exit}
+
+	fwd := params
+	fwd.Clock = r.clock
+	fwd.Circ = circ
+	fwd.Send = func(seg transport.Segment) bool {
+		seg.Dir = transport.DirForward
+		return sendSegment(r.port, succ, seg)
+	}
+	// The feedback chain: the first onward transmission of a cell is
+	// the moment this relay "forwards" it, which the receiver reports
+	// upstream as FEEDBACK.
+	fwd.OnFirstTransmit = func(count uint64) {
+		h.recv.NotifyForwarded(count)
+	}
+	h.send = transport.NewSender(fwd)
+
+	h.recv = transport.NewReceiver(circ,
+		func(seg transport.Segment) bool {
+			seg.Dir = transport.DirForward
+			return sendSegment(r.port, pred, seg)
+		},
+		func(c *cell.Cell) { r.processCell(h, c) },
+	)
+
+	back := params
+	back.Clock = r.clock
+	back.Circ = circ
+	back.Send = func(seg transport.Segment) bool {
+		seg.Dir = transport.DirBackward
+		return sendSegment(r.port, pred, seg)
+	}
+	back.OnFirstTransmit = func(count uint64) {
+		h.brecv.NotifyForwarded(count)
+	}
+	h.bsend = transport.NewSender(back)
+
+	h.brecv = transport.NewReceiver(circ,
+		func(seg transport.Segment) bool {
+			seg.Dir = transport.DirBackward
+			return sendSegment(r.port, succ, seg)
+		},
+		func(c *cell.Cell) { r.processBackwardCell(h, c) },
+	)
+
+	r.hops[circ] = h
+}
+
+// sendSegment transmits a hop segment, giving control segments (ACK,
+// FEEDBACK, PROBE) link priority so congestion feedback is not delayed
+// by the data queues it describes.
+func sendSegment(p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
+	if seg.Kind == transport.KindData {
+		return p.Send(dst, seg.WireSize(), seg)
+	}
+	return p.SendPriority(dst, seg.WireSize(), seg)
+}
+
+// processCell removes this relay's onion layer and forwards the cell.
+// If the cell becomes recognized here (this relay is the circuit's last
+// onion hop), its digest is verified and the plaintext travels on to the
+// destination over the final transport hop.
+func (r *Relay) processCell(h *hop, c *cell.Cell) {
+	h.keys.DecryptForward(c)
+	if hdr, _, err := c.Relay(); err == nil && hdr.Recognized == 0 {
+		if h.keys.VerifyForward(c) {
+			r.stats.Recognized++
+		} else if looksRecognized(hdr) {
+			// Recognized-looking header with a bad digest: corruption.
+			r.stats.Corrupt++
+			return
+		}
+	}
+	r.stats.CellsForwarded++
+	h.send.Enqueue(c)
+}
+
+// processBackwardCell handles one in-order backward cell from the
+// successor: the exit relay (whose successor is the destination
+// endpoint, outside the onion) seals the plaintext with its backward
+// digest first; every relay then adds its backward encryption layer and
+// forwards toward the predecessor. The client removes all layers.
+func (r *Relay) processBackwardCell(h *hop, c *cell.Cell) {
+	if h.exit {
+		h.keys.SealBackward(c)
+	}
+	h.keys.EncryptBackward(c)
+	r.stats.CellsForwarded++
+	h.bsend.Enqueue(c)
+}
+
+// looksRecognized distinguishes a genuinely plaintext-looking header
+// from random ciphertext that happens to have Recognized == 0: a real
+// relay header has a known command. Random 507-byte ciphertext passes
+// this ~1-in-10^4 of the time, and the digest check then rejects it.
+func looksRecognized(hdr cell.RelayHeader) bool {
+	return hdr.Cmd >= cell.RelayData && hdr.Cmd <= cell.RelaySendme
+}
+
+// deliver demultiplexes frames from the network to the right hop and
+// direction.
+func (r *Relay) deliver(f *netem.Frame) {
+	seg, ok := f.Payload.(transport.Segment)
+	if !ok {
+		panic(fmt.Sprintf("relay %s: non-segment frame from %s", r.id, f.Src))
+	}
+	h := r.hops[seg.Circ]
+	if h == nil {
+		r.stats.UnknownCircuit++
+		return
+	}
+	switch f.Src {
+	case h.pred:
+		if seg.Dir == transport.DirBackward {
+			// Control for our backward sender.
+			switch seg.Kind {
+			case transport.KindAck:
+				h.bsend.HandleAck(seg.Count)
+			case transport.KindFeedback:
+				h.bsend.HandleFeedback(seg.Count)
+			default:
+				r.stats.UnknownSource++
+			}
+			return
+		}
+		// Inbound forward data path.
+		switch seg.Kind {
+		case transport.KindData:
+			h.recv.HandleData(seg.Seq, seg.Cell)
+		case transport.KindProbe:
+			h.recv.HandleProbe()
+		default:
+			r.stats.UnknownSource++
+		}
+	case h.succ:
+		if seg.Dir == transport.DirBackward {
+			// Inbound backward data path.
+			switch seg.Kind {
+			case transport.KindData:
+				h.brecv.HandleData(seg.Seq, seg.Cell)
+			case transport.KindProbe:
+				h.brecv.HandleProbe()
+			default:
+				r.stats.UnknownSource++
+			}
+			return
+		}
+		// Control for our forward sender.
+		switch seg.Kind {
+		case transport.KindAck:
+			h.send.HandleAck(seg.Count)
+		case transport.KindFeedback:
+			h.send.HandleFeedback(seg.Count)
+		default:
+			r.stats.UnknownSource++
+		}
+	default:
+		r.stats.UnknownSource++
+	}
+}

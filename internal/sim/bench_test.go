@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkClockScheduleRun measures raw event throughput: schedule and
+// execute one event per iteration.
+func BenchmarkClockScheduleRun(b *testing.B) {
+	c := NewClock()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		c.After(time.Microsecond, func() { n++ })
+		c.Run()
+	}
+	if n != b.N {
+		b.Fatalf("executed %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkClockDeepQueue measures heap behaviour with many pending
+// events: 1024 timers armed, then drained.
+func BenchmarkClockDeepQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewClock()
+		n := 0
+		for j := 0; j < 1024; j++ {
+			c.After(time.Duration(j)*time.Microsecond, func() { n++ })
+		}
+		c.Run()
+		if n != 1024 {
+			b.Fatal("lost events")
+		}
+	}
+}
+
+// BenchmarkTimerRearm measures the cancel-and-rearm pattern the
+// transport RTO uses on every acknowledgment.
+func BenchmarkTimerRearm(b *testing.B) {
+	c := NewClock()
+	tm := NewTimer(c, func() {})
+	for i := 0; i < b.N; i++ {
+		tm.Arm(time.Millisecond)
+	}
+	tm.Stop()
+	c.Run()
+}

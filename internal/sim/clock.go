@@ -1,0 +1,231 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate everything else in this repository runs on:
+// network links, transport timers, and application workloads all schedule
+// events on a single virtual clock. Simulated time is represented as
+// time.Duration offsets from the simulation epoch, so a nanosecond of
+// virtual time costs nothing to "wait" for.
+//
+// The design mirrors the event core of ns-3 (which the paper's nstor
+// framework builds on): a priority queue of timestamped events, a strictly
+// monotone clock, and stable FIFO ordering for events scheduled at the
+// same instant. Determinism is a hard requirement — given the same seed,
+// every experiment in this repository reproduces byte-identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the
+// simulation epoch (t = 0). It is a distinct type so that virtual time
+// cannot be accidentally mixed with wall-clock time.
+type Time time.Duration
+
+// Common Time constants re-exported for convenience.
+const (
+	Nanosecond  Time = Time(time.Nanosecond)
+	Microsecond Time = Time(time.Microsecond)
+	Millisecond Time = Time(time.Millisecond)
+	Second      Time = Time(time.Second)
+)
+
+// MaxTime is the largest representable instant. It is used as the
+// default horizon for unbounded runs.
+const MaxTime Time = Time(math.MaxInt64)
+
+// Duration converts t to a time.Duration offset from the epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the instant expressed in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Milliseconds returns the instant expressed in milliseconds, with
+// sub-millisecond precision retained.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(time.Millisecond) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a single scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO for equal timestamps
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Clock is a discrete-event scheduler plus virtual clock. It is not safe
+// for concurrent use: the entire simulation is single-threaded by design,
+// which is what makes runs reproducible.
+type Clock struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+
+	processed uint64
+}
+
+// NewClock returns a clock positioned at the epoch with an empty queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Processed returns the number of events executed so far. It is useful
+// for progress accounting in long experiments and for asserting that a
+// scenario actually did work.
+func (c *Clock) Processed() uint64 { return c.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been reaped).
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead || h.ev.idx == -1 {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+// Active reports whether the event is still scheduled to run.
+func (h Handle) Active() bool {
+	return h.ev != nil && !h.ev.dead && h.ev.idx != -1
+}
+
+// At schedules fn to run at the absolute instant t. Scheduling in the
+// past panics: that is always a logic error in a discrete-event model.
+func (c *Clock) At(t Time, fn func()) Handle {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, c.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current instant.
+func (c *Clock) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return c.At(c.now.Add(d), fn)
+}
+
+// Stop aborts a running Run/RunUntil after the current event returns.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the time of the last executed event.
+func (c *Clock) Run() Time { return c.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= horizon, advancing the
+// clock as it goes. On return the clock is positioned at
+// min(horizon, time of last event) — or at horizon exactly when the
+// queue still holds later events, so that subsequent scheduling
+// continues from the horizon.
+func (c *Clock) RunUntil(horizon Time) Time {
+	if c.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	c.running = true
+	c.stopped = false
+	defer func() { c.running = false }()
+
+	for len(c.queue) > 0 && !c.stopped {
+		next := c.queue[0]
+		if next.at > horizon {
+			c.now = horizon
+			return c.now
+		}
+		heap.Pop(&c.queue)
+		if next.dead {
+			continue
+		}
+		c.now = next.at
+		c.processed++
+		next.fn()
+	}
+	if horizon != MaxTime && c.now < horizon {
+		c.now = horizon
+	}
+	return c.now
+}
+
+// Step executes exactly one pending (non-cancelled) event and reports
+// whether one was executed. It is primarily a testing aid.
+func (c *Clock) Step() bool {
+	for len(c.queue) > 0 {
+		next := heap.Pop(&c.queue).(*event)
+		if next.dead {
+			continue
+		}
+		c.now = next.at
+		c.processed++
+		next.fn()
+		return true
+	}
+	return false
+}

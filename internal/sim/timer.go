@@ -1,0 +1,57 @@
+package sim
+
+import "time"
+
+// Timer is a restartable one-shot timer bound to a Clock. It is the
+// building block for transport retransmission timers: arming an already
+// armed timer reschedules it, and firing clears the armed state before
+// invoking the callback so the callback may re-arm it.
+type Timer struct {
+	clock  *Clock
+	fn     func()
+	handle Handle
+}
+
+// NewTimer returns an unarmed timer that will invoke fn when it fires.
+func NewTimer(clock *Clock, fn func()) *Timer {
+	if clock == nil {
+		panic("sim: NewTimer with nil clock")
+	}
+	if fn == nil {
+		panic("sim: NewTimer with nil function")
+	}
+	return &Timer{clock: clock, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire d from now. Any previously
+// scheduled firing is cancelled.
+func (t *Timer) Arm(d time.Duration) {
+	t.handle.Cancel()
+	t.handle = t.clock.After(d, t.fire)
+}
+
+// ArmAt (re)schedules the timer to fire at the absolute instant at.
+func (t *Timer) ArmAt(at Time) {
+	t.handle.Cancel()
+	t.handle = t.clock.At(at, t.fire)
+}
+
+// Stop cancels a pending firing. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() { t.handle.Cancel() }
+
+// Armed reports whether the timer is currently scheduled to fire.
+func (t *Timer) Armed() bool { return t.handle.Active() }
+
+// Deadline returns the instant the timer will fire. It is only
+// meaningful when Armed reports true.
+func (t *Timer) Deadline() Time {
+	if !t.Armed() {
+		return 0
+	}
+	return t.handle.ev.at
+}
+
+func (t *Timer) fire() {
+	t.handle = Handle{}
+	t.fn()
+}

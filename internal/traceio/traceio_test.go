@@ -1,0 +1,182 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/sim"
+)
+
+func ms(v int) sim.Time { return sim.Time(v) * sim.Millisecond }
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	s := metrics.NewSeries("cwnd_kb")
+	s.Record(ms(0), 1)
+	s.Record(ms(10), 2.5)
+
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0][0] != "time_ms" || rows[0][1] != "cwnd_kb" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][0] != "0" || rows[1][1] != "1" {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+	if rows[2][0] != "10" || rows[2][1] != "2.5" {
+		t.Fatalf("row 2 = %v", rows[2])
+	}
+}
+
+func TestWriteSeriessCSVAlignsOnSharedAxis(t *testing.T) {
+	a := metrics.NewSeries("a")
+	a.Record(ms(0), 1)
+	a.Record(ms(20), 3)
+	b := metrics.NewSeries("b")
+	b.Record(ms(10), 5)
+
+	var buf bytes.Buffer
+	if err := WriteSeriessCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	// Header + 3 distinct instants.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(rows), rows)
+	}
+	// At 0ms: a=1, b empty (before its first sample).
+	if rows[1][1] != "1" || rows[1][2] != "" {
+		t.Fatalf("t=0 row = %v", rows[1])
+	}
+	// At 10ms: a holds 1, b=5.
+	if rows[2][1] != "1" || rows[2][2] != "5" {
+		t.Fatalf("t=10 row = %v", rows[2])
+	}
+	// At 20ms: a=3, b holds 5.
+	if rows[3][1] != "3" || rows[3][2] != "5" {
+		t.Fatalf("t=20 row = %v", rows[3])
+	}
+}
+
+func TestWriteSeriessCSVEmptyArgs(t *testing.T) {
+	if err := WriteSeriessCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("no error for zero series")
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	with := metrics.NewDistribution("with_cs")
+	for _, v := range []float64{1, 2} {
+		with.Add(v)
+	}
+	without := metrics.NewDistribution("without_cs")
+	for _, v := range []float64{1.5, 2.5, 3.5} {
+		without.Add(v)
+	}
+	var buf bytes.Buffer
+	if err := WriteCDFCSV(&buf, with, without); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0][0] != "with_cs" || rows[0][3] != "without_cs_p" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// Shorter distribution leaves trailing cells empty.
+	if rows[3][0] != "" || rows[3][1] != "" {
+		t.Fatalf("short-dist padding missing: %v", rows[3])
+	}
+	if rows[3][2] != "3.5" || rows[3][3] != "1" {
+		t.Fatalf("long dist tail = %v", rows[3])
+	}
+}
+
+func TestWriteCDFCSVEmptyArgs(t *testing.T) {
+	if err := WriteCDFCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("no error for zero distributions")
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	d := metrics.NewDistribution("ttlb_s")
+	for i := 1; i <= 10; i++ {
+		d.Add(float64(i))
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaryTable(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ttlb_s") || !strings.Contains(out, "p90") {
+		t.Fatalf("summary table missing fields:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+}
+
+func TestTableTextAndCSV(t *testing.T) {
+	tb := NewTable("policy", "ttlb_s", "cells")
+	tb.AddRow("circuitstart", "1.2", "100")
+	tb.AddRowf("slowstart", 1.75, 100)
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+
+	var txt bytes.Buffer
+	if err := tb.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "circuitstart") || !strings.Contains(txt.String(), "1.75") {
+		t.Fatalf("text table:\n%s", txt.String())
+	}
+
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 || rows[2][1] != "1.75" {
+		t.Fatalf("csv rows = %v", rows)
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	t.Run("no columns", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		NewTable()
+	})
+	t.Run("cell mismatch", func(t *testing.T) {
+		tb := NewTable("a", "b")
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		tb.AddRow("only-one")
+	})
+}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"fmt"
+
+	"circuitstart/internal/cell"
+)
+
+// ReceiverStats counts receiver activity.
+type ReceiverStats struct {
+	Received     uint64 // data segments seen (including duplicates)
+	Duplicates   uint64
+	Buffered     uint64 // out-of-order segments parked
+	Delivered    uint64 // cells handed to the consumer, in order
+	AcksSent     uint64
+	FeedbackSent uint64
+}
+
+// Receiver is the per-hop receive side: it acknowledges reception,
+// reorders, delivers cells in order to its consumer, and reports
+// *forwarding* progress back to the sender as FEEDBACK.
+//
+// Who calls NotifyForwarded distinguishes node roles: a relay wires it
+// to its own onward sender's first-transmission hook ("the cell is
+// moving"), while a sink calls it immediately upon delivery (delivering
+// to the application is the final forwarding step).
+type Receiver struct {
+	circ cell.CircID
+	// send transmits control segments back toward the sender.
+	send func(Segment) bool
+	// deliver consumes in-order cells.
+	deliver func(*cell.Cell)
+
+	expected uint64 // next in-order sequence
+	buffer   map[uint64]*cell.Cell
+
+	forwarded    uint64 // highest forwarding count reported to us
+	feedbackSent uint64 // highest count actually signalled upstream
+
+	stats ReceiverStats
+}
+
+// NewReceiver creates a hop receiver. send transmits ACK/FEEDBACK
+// segments to the predecessor; deliver consumes in-order cells.
+func NewReceiver(circ cell.CircID, send func(Segment) bool, deliver func(*cell.Cell)) *Receiver {
+	if send == nil {
+		panic("transport: NewReceiver with nil send")
+	}
+	if deliver == nil {
+		panic("transport: NewReceiver with nil deliver")
+	}
+	return &Receiver{
+		circ:    circ,
+		send:    send,
+		deliver: deliver,
+		buffer:  make(map[uint64]*cell.Cell),
+	}
+}
+
+// Expected returns the next in-order sequence number (equivalently, the
+// cumulative count of in-order cells received).
+func (r *Receiver) Expected() uint64 { return r.expected }
+
+// Stats returns a snapshot of the counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// HandleData processes an arriving DATA segment: acknowledge, reorder,
+// deliver.
+func (r *Receiver) HandleData(seq uint64, c *cell.Cell) {
+	if c == nil {
+		panic("transport: HandleData with nil cell")
+	}
+	r.stats.Received++
+	switch {
+	case seq < r.expected:
+		r.stats.Duplicates++ // retransmission of something delivered; re-ack below
+	case seq == r.expected:
+		r.deliverCell(c)
+		// Drain any contiguous run parked in the buffer.
+		for {
+			nxt, ok := r.buffer[r.expected]
+			if !ok {
+				break
+			}
+			delete(r.buffer, r.expected)
+			r.deliverCell(nxt)
+		}
+	default: // out of order
+		if _, dup := r.buffer[seq]; dup {
+			r.stats.Duplicates++
+		} else {
+			r.buffer[seq] = c
+			r.stats.Buffered++
+		}
+	}
+	r.stats.AcksSent++
+	r.send(Segment{Kind: KindAck, Circ: r.circ, Count: r.expected})
+}
+
+func (r *Receiver) deliverCell(c *cell.Cell) {
+	r.expected++
+	r.stats.Delivered++
+	r.deliver(c)
+}
+
+// HandleProbe answers a window probe by re-sending the current
+// cumulative reception and forwarding reports. Probes heal lost tail
+// ACK/FEEDBACK segments, which are otherwise never retransmitted.
+func (r *Receiver) HandleProbe() {
+	r.stats.AcksSent++
+	r.send(Segment{Kind: KindAck, Circ: r.circ, Count: r.expected})
+	if r.forwarded > 0 {
+		r.stats.FeedbackSent++
+		r.send(Segment{Kind: KindFeedback, Circ: r.circ, Count: r.forwarded})
+	}
+}
+
+// NotifyForwarded reports that the node has forwarded count cells of
+// this hop onward (cumulative). New progress is signalled upstream as a
+// FEEDBACK segment.
+func (r *Receiver) NotifyForwarded(count uint64) {
+	if count > r.expected {
+		panic(fmt.Sprintf("transport: forwarded %d cells but only %d delivered", count, r.expected))
+	}
+	if count <= r.forwarded {
+		return
+	}
+	r.forwarded = count
+	if count > r.feedbackSent {
+		r.feedbackSent = count
+		r.stats.FeedbackSent++
+		r.send(Segment{Kind: KindFeedback, Circ: r.circ, Count: count})
+	}
+}
