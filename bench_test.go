@@ -9,6 +9,7 @@
 package circuitstart_test
 
 import (
+	"runtime"
 	"testing"
 
 	"circuitstart"
@@ -17,16 +18,28 @@ import (
 	"circuitstart/internal/workload"
 )
 
+// skipIfShort skips a paper-scale benchmark under -short: every
+// benchmark in this file regenerates a full figure or ablation, which
+// is seconds of simulated traffic per iteration.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("paper-scale experiment")
+	}
+}
+
 // BenchmarkFig1CwndTraceNear regenerates Figure 1 (upper left): source
 // cwnd with the bottleneck one hop away. Metrics: the startup exit
 // window relative to the model optimum and the convergence time.
 func BenchmarkFig1CwndTraceNear(b *testing.B) {
+	skipIfShort(b)
 	benchCwndTrace(b, 1)
 }
 
 // BenchmarkFig1CwndTraceFar regenerates Figure 1 (upper right): the
 // bottleneck three hops away.
 func BenchmarkFig1CwndTraceFar(b *testing.B) {
+	skipIfShort(b)
 	benchCwndTrace(b, 3)
 }
 
@@ -51,6 +64,7 @@ func benchCwndTrace(b *testing.B, distance int) {
 // time CDF over 50 concurrent circuits, with vs without CircuitStart.
 // Metrics: both medians and the median gap in milliseconds.
 func BenchmarkFig1DownloadCDF(b *testing.B) {
+	skipIfShort(b)
 	var res circuitstart.CDFResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -87,6 +101,7 @@ func maxHorizontalGap(res circuitstart.CDFResult) float64 {
 // BenchmarkAblationGamma sweeps the exit threshold γ ∈ {1,2,4,8,16}
 // (the paper fixes γ = 4). Metric: exit-window error at γ = 4.
 func BenchmarkAblationGamma(b *testing.B) {
+	skipIfShort(b)
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -106,6 +121,7 @@ func BenchmarkAblationGamma(b *testing.B) {
 // compensation (paper), the literal in-round count, halving, and
 // classic slow start. Metric: each arm's exit/optimal ratio.
 func BenchmarkAblationCompensation(b *testing.B) {
+	skipIfShort(b)
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -123,6 +139,7 @@ func BenchmarkAblationCompensation(b *testing.B) {
 // BenchmarkAblationFeedbackClock isolates feedback-round clocking vs
 // ACK clocking. Metric: peak window (aggressiveness) per arm.
 func BenchmarkAblationFeedbackClock(b *testing.B) {
+	skipIfShort(b)
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -141,6 +158,7 @@ func BenchmarkAblationFeedbackClock(b *testing.B) {
 // Metric: settle time per position (the paper's position-independence
 // claim).
 func BenchmarkAblationBottleneckPosition(b *testing.B) {
+	skipIfShort(b)
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -161,6 +179,7 @@ var names3 = []string{"hop1", "hop2", "hop3"}
 // BenchmarkAblationConcurrency sweeps concurrent circuits {10, 25, 50}.
 // Metric: median gain per level.
 func BenchmarkAblationConcurrency(b *testing.B) {
+	skipIfShort(b)
 	var rows []experiments.ConcurrencyRow
 	var err error
 	levels := []int{10, 25, 50}
@@ -180,6 +199,7 @@ func BenchmarkAblationConcurrency(b *testing.B) {
 // capacity-step experiment. Metrics: recovery time with and without the
 // re-probe extension.
 func BenchmarkExtensionDynamicRestart(b *testing.B) {
+	skipIfShort(b)
 	base := circuitstart.DynamicRestartParams{
 		Seed:       42,
 		BeforeRate: circuitstart.Mbps(8),
@@ -214,6 +234,7 @@ func BenchmarkExtensionDynamicRestart(b *testing.B) {
 // transfer over a 3-hop circuit per iteration (an engineering metric,
 // not a paper figure).
 func BenchmarkSingleTransfer(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		sc, err := workload.Build(int64(i), workload.ScenarioParams{
 			Relays:         workload.DefaultRelayParams(8),
@@ -249,6 +270,7 @@ func itoa(v int) string {
 // adaptation extensions (DESIGN.md deviations): settle time per arm on
 // the distant-bottleneck trace.
 func BenchmarkAblationExtensions(b *testing.B) {
+	skipIfShort(b)
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -269,6 +291,7 @@ func BenchmarkAblationExtensions(b *testing.B) {
 // BenchmarkAblationVegas sweeps the avoidance thresholds (α, β) around
 // BackTap's (2, 4). Metric: final window / optimal per pair.
 func BenchmarkAblationVegas(b *testing.B) {
+	skipIfShort(b)
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -281,4 +304,31 @@ func BenchmarkAblationVegas(b *testing.B) {
 	for i, r := range rows {
 		b.ReportMetric(r.FinalCells/r.OptimalCells, names[i]+"_final_ratio")
 	}
+}
+
+// BenchmarkScenarioCDFWorkers1 and BenchmarkScenarioCDFWorkersNumCPU
+// run the Figure-1 aggregate scenario (50 circuits × 2 policy arms)
+// through the declarative Runner serially and with one worker per CPU.
+// The Results are bit-identical; only the wall-clock differs — compare
+// ns/op between the two to see the multi-core speedup.
+func BenchmarkScenarioCDFWorkers1(b *testing.B) {
+	benchScenarioWorkers(b, 1)
+}
+
+func BenchmarkScenarioCDFWorkersNumCPU(b *testing.B) {
+	benchScenarioWorkers(b, runtime.NumCPU())
+}
+
+func benchScenarioWorkers(b *testing.B, workers int) {
+	skipIfShort(b)
+	sc := circuitstart.DefaultCDFParams().ToScenario()
+	var res *circuitstart.ScenarioResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = circuitstart.Runner{Workers: workers}.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Arm("circuitstart").TTLB.Median()*1000, "median_with_ms")
 }

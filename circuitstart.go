@@ -24,6 +24,34 @@
 // Ablation* functions) regenerates every figure of the paper; see
 // EXPERIMENTS.md for the reproduction report and DESIGN.md for the
 // system inventory.
+//
+// # Declarative scenarios
+//
+// Beyond the fixed figure entry points, the Scenario/Runner API
+// describes an experiment as plain data — topology (explicit relays or
+// a generated Tor-like population), circuits (count, paths, transfer
+// size and direction, arrival process), one policy arm per transport
+// configuration, and instrumentation — and executes it on a multi-core
+// worker pool:
+//
+//	pop := circuitstart.DefaultRelayParams(40)
+//	res, _ := circuitstart.Runner{Workers: 8}.Run(circuitstart.Scenario{
+//		Seed:     42,
+//		Topology: circuitstart.Topology{Population: &pop},
+//		Circuits: circuitstart.CircuitSet{Count: 50, TransferSize: 500 * circuitstart.Kilobyte},
+//		Arms: []circuitstart.Arm{
+//			{Name: "with", Transport: circuitstart.TransportOptions{}},
+//			{Name: "without", Transport: circuitstart.TransportOptions{Policy: circuitstart.PolicyBackTap}},
+//		},
+//		Horizon: 600 * circuitstart.Second,
+//	})
+//
+// Each (arm, replication) trial runs on its own Network with a
+// seed-derived substream, so a Result is bit-identical regardless of
+// the worker count or trial completion order. The figure entry points
+// are thin adapters over this API; examples/scenarios shows a custom
+// multi-arm sweep, and 'circuitsim scenario' drives one from the
+// command line.
 package circuitstart
 
 import (
@@ -32,6 +60,7 @@ import (
 	"circuitstart/internal/metrics"
 	"circuitstart/internal/model"
 	"circuitstart/internal/netem"
+	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/transport"
 	"circuitstart/internal/units"
@@ -84,6 +113,48 @@ type (
 	DynamicRestartParams = experiments.DynamicRestartParams
 )
 
+// Declarative experiment API: a Scenario describes an experiment as
+// data, a Runner executes its trials on a worker pool. See the package
+// comment's "Declarative scenarios" section.
+type (
+	// Scenario declaratively describes one experiment.
+	Scenario = scenario.Scenario
+	// Topology is a scenario's relay population (explicit or generated).
+	Topology = scenario.Topology
+	// RelaySpec pins one explicit relay of a Topology.
+	RelaySpec = scenario.RelaySpec
+	// CircuitSet describes a scenario's circuits and workload.
+	CircuitSet = scenario.CircuitSet
+	// Arrival describes when each circuit's transfer begins.
+	Arrival = scenario.Arrival
+	// Arm is one policy configuration to run a scenario under.
+	Arm = scenario.Arm
+	// Probes selects per-circuit instrumentation.
+	Probes = scenario.Probes
+	// LinkEvent schedules a mid-run access-capacity change.
+	LinkEvent = scenario.LinkEvent
+	// Runner executes a Scenario across a worker pool.
+	Runner = scenario.Runner
+	// ScenarioResult is a Runner's aggregated outcome.
+	ScenarioResult = scenario.Result
+	// ArmResult aggregates one arm across all replications.
+	ArmResult = scenario.ArmResult
+	// CircuitOutcome is one circuit's outcome in one trial.
+	CircuitOutcome = scenario.CircuitOutcome
+	// RelayParams shapes a generated relay population.
+	RelayParams = workload.RelayParams
+)
+
+// Arrival processes for CircuitSet.Arrival.Kind.
+const (
+	// ArriveTogether starts every transfer at t = 0 (default).
+	ArriveTogether = scenario.ArriveTogether
+	// ArriveUniform staggers starts uniformly in [0, Spread).
+	ArriveUniform = scenario.ArriveUniform
+	// ArrivePoisson draws inter-arrival gaps from Exp(1/Rate).
+	ArrivePoisson = scenario.ArrivePoisson
+)
+
 // Constructors and helpers re-exported from the internal packages.
 var (
 	// NewNetwork creates an overlay whose randomness derives from seed.
@@ -117,6 +188,13 @@ var (
 	AblationConcurrency = experiments.AblationConcurrency
 	// ExtensionDynamicRestart runs the capacity-step extension.
 	ExtensionDynamicRestart = experiments.ExtensionDynamicRestart
+
+	// RunScenario executes a Scenario with a default Runner (one
+	// worker per CPU).
+	RunScenario = scenario.Run
+	// DefaultRelayParams returns the Tor-flavoured population used by
+	// the paper's aggregate experiment.
+	DefaultRelayParams = workload.DefaultRelayParams
 )
 
 // Data size units.

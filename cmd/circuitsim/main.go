@@ -7,19 +7,27 @@
 //	circuitsim fig1-cdf   [-circuits K] [-relays N] [-size BYTES] [-seed S] [-csv out.csv]
 //	circuitsim ablation   [-name gamma|compensation|clock|position|concurrency] [-seed S]
 //	circuitsim dynamic    [-before MBPS] [-after MBPS] [-restart R] [-seed S]
+//	circuitsim scenario   [-arms P1,P2,…] [-circuits K] [-relays N] [-workers W]
+//	                      [-reps R] [-poisson RATE] [-download] [-csv out.csv]
 //
 // Each subcommand prints a human-readable table to stdout; -csv
-// additionally writes the raw series/CDF in gnuplot-ready CSV.
+// additionally writes the raw series/CDF in gnuplot-ready CSV. The
+// scenario subcommand runs a declaratively-specified sweep — one arm
+// per policy over a generated relay population — on a multi-core
+// runner.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"circuitstart/internal/core"
 	"circuitstart/internal/experiments"
 	"circuitstart/internal/metrics"
+	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/traceio"
 	"circuitstart/internal/units"
@@ -41,6 +49,8 @@ func main() {
 		err = runAblation(os.Args[2:])
 	case "dynamic":
 		err = runDynamic(os.Args[2:])
+	case "scenario":
+		err = runScenario(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,6 +72,7 @@ Commands:
   fig1-cdf    download-time CDF, with vs without CircuitStart (Figure 1, lower)
   ablation    design-choice sweeps: gamma, compensation, clock, position, concurrency
   dynamic     capacity-step extension (future-work experiment)
+  scenario    declarative multi-arm sweep on the parallel runner
 
 Run 'circuitsim <command> -h' for flags.
 `)
@@ -269,6 +280,86 @@ func runDynamic(args []string) error {
 	tbl.AddRowf("final window [cells]", r.FinalCells)
 	tbl.AddRowf("re-probes", r.Restarts)
 	return tbl.WriteText(os.Stdout)
+}
+
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	arms := fs.String("arms", "circuitstart,backtap", "comma-separated policy arms")
+	circuits := fs.Int("circuits", 50, "concurrent circuits")
+	relays := fs.Int("relays", 40, "relay population size")
+	hops := fs.Int("hops", 3, "relays per circuit")
+	size := fs.Int64("size", 500_000, "transfer size per circuit [bytes]")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	reps := fs.Int("reps", 1, "replications per arm (independent seed substreams)")
+	workers := fs.Int("workers", 0, "trial worker pool size (0 = one per CPU)")
+	spread := fs.Duration("spread", 200*time.Millisecond, "uniform start stagger window")
+	poisson := fs.Float64("poisson", 0, "Poisson arrival rate per second (overrides -spread)")
+	download := fs.Bool("download", false, "run transfers in the download (server → client) direction")
+	horizon := fs.Duration("horizon", 600*time.Second, "per-trial virtual time bound")
+	csvPath := fs.String("csv", "", "write every arm's TTLB CDF as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var armSpecs []scenario.Arm
+	for _, policy := range strings.Split(*arms, ",") {
+		policy = strings.TrimSpace(policy)
+		if policy == "" {
+			continue
+		}
+		armSpecs = append(armSpecs, scenario.Arm{
+			Name:      policy,
+			Transport: core.TransportOptions{Policy: policy},
+		})
+	}
+	arrival := scenario.Arrival{Kind: scenario.ArriveUniform, Spread: *spread}
+	if *poisson > 0 {
+		arrival = scenario.Arrival{Kind: scenario.ArrivePoisson, Rate: *poisson}
+	} else if *spread <= 0 {
+		arrival = scenario.Arrival{}
+	}
+	pop := workload.DefaultRelayParams(*relays)
+	sc := scenario.Scenario{
+		Name:     "cli-sweep",
+		Seed:     *seed,
+		Topology: scenario.Topology{Population: &pop},
+		Circuits: scenario.CircuitSet{
+			Count:        *circuits,
+			Hops:         *hops,
+			TransferSize: units.DataSize(*size),
+			Download:     *download,
+			Arrival:      arrival,
+		},
+		Arms:         armSpecs,
+		Horizon:      sim.Time(*horizon),
+		Replications: *reps,
+	}
+	res, err := scenario.Runner{Workers: *workers}.Run(sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario: %d circuits × %d arms × %d reps over %d relays, %s each\n",
+		*circuits, len(res.Arms), *reps, *relays, units.DataSize(*size))
+	for _, arm := range res.Arms {
+		if arm.Incomplete > 0 {
+			fmt.Printf("  warning: %s left %d transfers incomplete\n", arm.Name, arm.Incomplete)
+		}
+	}
+	if err := res.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	if *csvPath != "" {
+		dists := make([]*metrics.Distribution, len(res.Arms))
+		for i := range res.Arms {
+			dists[i] = res.Arms[i].TTLB
+		}
+		return writeCSV(*csvPath, func(f *os.File) error {
+			return traceio.WriteCDFCSV(f, dists...)
+		})
+	}
+	return nil
 }
 
 func writeCSV(path string, write func(*os.File) error) error {

@@ -64,3 +64,25 @@ func TestRunDynamic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunScenario(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "cdf.csv")
+	args := []string{"-circuits", "4", "-relays", "10", "-size", "100000",
+		"-reps", "2", "-workers", "4", "-poisson", "40", "-csv", csv}
+	if err := runScenario(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ttlb_circuitstart") {
+		t.Fatalf("CSV missing arm column:\n%s", data)
+	}
+	if err := runScenario([]string{"-arms", "warp"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := runScenario([]string{"-arms", ""}); err == nil {
+		t.Fatal("empty arm list accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module circuitstart
+
+go 1.21

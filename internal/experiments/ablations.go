@@ -7,6 +7,7 @@ import (
 	"circuitstart/internal/core"
 	"circuitstart/internal/model"
 	"circuitstart/internal/netem"
+	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/transport"
 	"circuitstart/internal/units"
@@ -40,24 +41,40 @@ func rowFromTrace(label string, r CwndTraceResult) AblationRow {
 	}
 }
 
+// runTraceArms executes one multi-arm sweep over the trace scenario —
+// every arm sees the identical topology and seed, and the runner fans
+// the arms out across the CPUs — and renders one row per arm.
+func runTraceArms(p CwndTraceParams, arms []scenario.Arm) ([]AblationRow, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	res, err := scenario.Run(p.Scenario(arms))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(res.Arms))
+	for i, arm := range res.Arms {
+		rows[i] = rowFromTrace(arm.Name, traceResult(p, arm.Circuits[0]))
+	}
+	return rows, nil
+}
+
 // AblationGamma sweeps the start-up exit threshold γ (paper fixes γ=4)
 // on the distant-bottleneck trace scenario.
 func AblationGamma(seed int64, gammas []float64) ([]AblationRow, error) {
 	if len(gammas) == 0 {
 		gammas = []float64{1, 2, 4, 8, 16}
 	}
-	rows := make([]AblationRow, 0, len(gammas))
-	for _, g := range gammas {
-		p := DefaultCwndTraceParams(3)
-		p.Seed = seed
-		p.Transport.Gamma = g
-		r, err := Fig1CwndTrace(p)
-		if err != nil {
-			return nil, err
+	arms := make([]scenario.Arm, len(gammas))
+	for i, g := range gammas {
+		arms[i] = scenario.Arm{
+			Name:      fmt.Sprintf("gamma=%g", g),
+			Transport: core.TransportOptions{Gamma: g},
 		}
-		rows = append(rows, rowFromTrace(fmt.Sprintf("gamma=%g", g), r))
 	}
-	return rows, nil
+	p := DefaultCwndTraceParams(3)
+	p.Seed = seed
+	return runTraceArms(p, arms)
 }
 
 // AblationCompensation compares exit-window strategies: CircuitStart's
@@ -65,62 +82,39 @@ func AblationGamma(seed int64, gammas []float64) ([]AblationRow, error) {
 // compensation at all (classic slow start), on the distant-bottleneck
 // scenario where compensation matters most.
 func AblationCompensation(seed int64) ([]AblationRow, error) {
-	type arm struct {
-		label string
-		opts  core.TransportOptions
+	arms := []scenario.Arm{
+		{Name: "measured (paper)", Transport: core.TransportOptions{Policy: "circuitstart", Compensation: transport.CompMeasured}},
+		{Name: "counted (literal)", Transport: core.TransportOptions{Policy: "circuitstart", Compensation: transport.CompCounted}},
+		{Name: "halving", Transport: core.TransportOptions{Policy: "circuitstart-halve"}},
+		{Name: "classic slow start", Transport: core.TransportOptions{Policy: "slowstart"}},
 	}
-	arms := []arm{
-		{"measured (paper)", core.TransportOptions{Policy: "circuitstart", Compensation: transport.CompMeasured}},
-		{"counted (literal)", core.TransportOptions{Policy: "circuitstart", Compensation: transport.CompCounted}},
-		{"halving", core.TransportOptions{Policy: "circuitstart-halve"}},
-		{"classic slow start", core.TransportOptions{Policy: "slowstart"}},
-	}
-	rows := make([]AblationRow, 0, len(arms))
 	for _, a := range arms {
-		mustPolicy(orDefault(a.opts.Policy))
-		p := DefaultCwndTraceParams(3)
-		p.Seed = seed
-		p.Transport = a.opts
-		r, err := Fig1CwndTrace(p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, rowFromTrace(a.label, r))
+		mustPolicy(orDefault(a.Transport.Policy))
 	}
-	return rows, nil
+	p := DefaultCwndTraceParams(3)
+	p.Seed = seed
+	return runTraceArms(p, arms)
 }
 
 // AblationFeedbackClock isolates the feedback-vs-ACK clocking choice:
 // the same compensated exit, driven by rounds of FEEDBACK (CircuitStart)
 // or by reception ACKs (a chained split-TCP-style ramp).
 func AblationFeedbackClock(seed int64) ([]AblationRow, error) {
-	type arm struct {
-		label string
-		opts  core.TransportOptions
+	arms := []scenario.Arm{
+		{Name: "feedback rounds (paper)", Transport: core.TransportOptions{Policy: "circuitstart"}},
+		{Name: "ack clocked + compensation", Transport: core.TransportOptions{Policy: "slowstart-compensated"}},
+		{Name: "ack clocked + ack window", Transport: core.TransportOptions{Policy: "slowstart-compensated", WindowClock: transport.ClockAck}},
 	}
-	arms := []arm{
-		{"feedback rounds (paper)", core.TransportOptions{Policy: "circuitstart"}},
-		{"ack clocked + compensation", core.TransportOptions{Policy: "slowstart-compensated"}},
-		{"ack clocked + ack window", core.TransportOptions{Policy: "slowstart-compensated", WindowClock: transport.ClockAck}},
-	}
-	rows := make([]AblationRow, 0, len(arms))
-	for _, a := range arms {
-		p := DefaultCwndTraceParams(3)
-		p.Seed = seed
-		p.Transport = a.opts
-		r, err := Fig1CwndTrace(p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, rowFromTrace(a.label, r))
-	}
-	return rows, nil
+	p := DefaultCwndTraceParams(3)
+	p.Seed = seed
+	return runTraceArms(p, arms)
 }
 
 // AblationBottleneckPosition sweeps the bottleneck hop 1..hops and
 // reports convergence per position — the paper's claim is position
 // independence ("quickly adjust the cwnd independently of the
-// bottleneck's location").
+// bottleneck's location"). Each position is its own topology, so this
+// sweep runs one single-arm scenario per hop.
 func AblationBottleneckPosition(seed int64, hops int) ([]AblationRow, error) {
 	if hops <= 0 {
 		hops = 3
@@ -137,6 +131,41 @@ func AblationBottleneckPosition(seed int64, hops int) ([]AblationRow, error) {
 		rows = append(rows, rowFromTrace(fmt.Sprintf("bottleneck at hop %d", h), r))
 	}
 	return rows, nil
+}
+
+// AblationExtensions quantifies the dynamic-adaptation extensions this
+// reproduction enables by default (DESIGN.md, deviations): the same
+// distant-bottleneck trace with both, either, and neither of severe
+// remeasure and accelerated re-probe.
+func AblationExtensions(seed int64) ([]AblationRow, error) {
+	arms := []scenario.Arm{
+		{Name: "both extensions (default)", Transport: core.TransportOptions{}},
+		{Name: "remeasure only", Transport: core.TransportOptions{RestartRounds: -1}},
+		{Name: "re-probe only", Transport: core.TransportOptions{SevereRemeasure: -1}},
+		{Name: "paper-pure (neither)", Transport: core.TransportOptions{RestartRounds: -1, SevereRemeasure: -1}},
+	}
+	p := DefaultCwndTraceParams(3)
+	p.Seed = seed
+	return runTraceArms(p, arms)
+}
+
+// AblationVegas sweeps the congestion-avoidance thresholds (α, β)
+// around BackTap's defaults (2, 4) on the near-bottleneck trace, where
+// the post-exit operating point is governed by avoidance.
+func AblationVegas(seed int64, pairs [][2]float64) ([]AblationRow, error) {
+	if len(pairs) == 0 {
+		pairs = [][2]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}, {6, 12}}
+	}
+	arms := make([]scenario.Arm, len(pairs))
+	for i, ab := range pairs {
+		arms[i] = scenario.Arm{
+			Name:      fmt.Sprintf("alpha=%g beta=%g", ab[0], ab[1]),
+			Transport: core.TransportOptions{Alpha: ab[0], Beta: ab[1]},
+		}
+	}
+	p := DefaultCwndTraceParams(1)
+	p.Seed = seed
+	return runTraceArms(p, arms)
 }
 
 // ConcurrencyRow is one concurrency level's outcome.
@@ -162,7 +191,7 @@ func AblationConcurrency(seed int64, levels []int) ([]ConcurrencyRow, error) {
 		p.Scenario.Circuits = k
 		// Keep the relay population proportional so load per relay is
 		// comparable across levels.
-		p.Scenario.Relays.N = maxInt(12, k*4/5)
+		p.Scenario.Relays.N = max(12, k*4/5)
 		res, err := Fig1DownloadCDF(p)
 		if err != nil {
 			return nil, err
@@ -218,10 +247,10 @@ type DynamicRestartResult struct {
 
 // ExtensionDynamicRestart runs the capacity-step experiment: a circuit
 // whose bottleneck relay's access rate steps from BeforeRate to
-// AfterRate at StepAt (netem links apply a rate change from the next
-// frame onward). With the re-probe extension the source should find the
-// new capacity within a few round trips; without it, Vegas crawls up at
-// one cell per RTT.
+// AfterRate at StepAt, declared as a scenario LinkEvent (netem links
+// apply a rate change from the next frame onward). With the re-probe
+// extension the source should find the new capacity within a few round
+// trips; without it, Vegas crawls up at one cell per RTT.
 func ExtensionDynamicRestart(p DynamicRestartParams) (DynamicRestartResult, error) {
 	if p.BeforeRate <= 0 || p.AfterRate <= 0 {
 		return DynamicRestartResult{}, fmt.Errorf("experiments: rates must be positive")
@@ -233,50 +262,50 @@ func ExtensionDynamicRestart(p DynamicRestartParams) (DynamicRestartResult, erro
 		p.Horizon = p.StepAt + 4*sim.Second
 	}
 
-	n := core.NewNetwork(p.Seed)
 	fast := units.Mbps(100)
 	delay := 5 * time.Millisecond
-	relays := []netem.NodeID{"r1", "r2", "r3"}
-	for _, id := range relays {
+	relayIDs := []netem.NodeID{"r1", "r2", "r3"}
+	relays := make([]scenario.RelaySpec, len(relayIDs))
+	for i, id := range relayIDs {
 		rate := fast
 		if id == "r2" {
 			rate = p.BeforeRate
 		}
-		if _, err := n.AddRelay(id, netem.Symmetric(rate, delay, 0)); err != nil {
-			return DynamicRestartResult{}, err
-		}
+		relays[i] = scenario.RelaySpec{ID: id, Access: netem.Symmetric(rate, delay, 0)}
 	}
-	opts := core.TransportOptions{RestartRounds: p.RestartRounds}
-	c, err := n.BuildCircuit(core.CircuitSpec{
-		Source: "client", Sink: "server",
-		SourceAccess: netem.Symmetric(fast, delay, 0),
-		SinkAccess:   netem.Symmetric(fast, delay, 0),
-		Relays:       relays,
-		Transport:    opts,
-		TraceCwnd:    true,
+	// Keep the source backlogged across the whole horizon.
+	size := units.DataSize(float64(p.AfterRate.BytesPerSecond()) * p.Horizon.Seconds() * 2)
+	sres, err := scenario.Runner{Workers: 1}.Run(scenario.Scenario{
+		Name:     "extension-dynamic-restart",
+		Seed:     p.Seed,
+		Topology: scenario.Topology{Relays: relays},
+		Circuits: scenario.CircuitSet{
+			Count:        1,
+			Paths:        [][]netem.NodeID{relayIDs},
+			TransferSize: size,
+		},
+		Arms: []scenario.Arm{
+			{Name: "dynamic", Transport: core.TransportOptions{RestartRounds: p.RestartRounds}},
+		},
+		ClientAccess:   netem.Symmetric(fast, delay, 0),
+		Horizon:        p.Horizon,
+		RunFullHorizon: true,
+		Events:         []scenario.LinkEvent{{At: p.StepAt, Relay: "r2", Rate: p.AfterRate}},
+		Probes:         scenario.Probes{TraceCwnd: true},
 	})
 	if err != nil {
 		return DynamicRestartResult{}, err
 	}
+	o := sres.Arms[0].Circuits[0]
 
 	res := DynamicRestartResult{Params: p}
-	res.OptimalBefore = c.ModelPath().OptimalSourceWindowCells()
-
-	bottleneck := n.Relay("r2").Port()
-	n.Clock().At(p.StepAt, func() {
-		bottleneck.Uplink().SetRate(p.AfterRate)
-		bottleneck.Downlink().SetRate(p.AfterRate)
-	})
-
-	// Keep the source backlogged across the whole horizon.
-	size := units.DataSize(float64(p.AfterRate.BytesPerSecond()) * p.Horizon.Seconds() * 2)
-	c.Transfer(size, nil)
-	n.RunUntil(p.Horizon)
+	// The circuit's model path was built from the pre-step rates.
+	res.OptimalBefore = o.OptimalCells
 
 	// Optimal after the step, from a model path with the new rate.
 	after := make([]model.Node, 0, 5)
 	after = append(after, model.FromAccess(netem.Symmetric(fast, delay, 0)))
-	for _, id := range relays {
+	for _, id := range relayIDs {
 		rate := fast
 		if id == "r2" {
 			rate = p.AfterRate
@@ -286,7 +315,7 @@ func ExtensionDynamicRestart(p DynamicRestartParams) (DynamicRestartResult, erro
 	after = append(after, model.FromAccess(netem.Symmetric(fast, delay, 0)))
 	res.OptimalAfter = model.NewPath(after).OptimalSourceWindowCells()
 
-	tr := c.SourceTrace()
+	tr := o.Trace
 	if v, ok := tr.At(p.StepAt); ok {
 		res.WindowAtStep = v
 	}
@@ -301,15 +330,8 @@ func ExtensionDynamicRestart(p DynamicRestartParams) (DynamicRestartResult, erro
 	if last, ok := tr.Last(); ok {
 		res.FinalCells = last.Value
 	}
-	res.Restarts = c.SourceSender().Stats().Restarts
+	res.Restarts = o.Restarts
 	return res, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func orDefault(policy string) string {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sort"
 	"testing"
 
 	"circuitstart/internal/sim"
@@ -295,7 +296,73 @@ func TestAblationConcurrency(t *testing.T) {
 	}
 }
 
+// TestAblationGammaScenarioEquivalence asserts the multi-arm scenario
+// sweep behind AblationGamma reproduces the one-trace-at-a-time legacy
+// implementation bit for bit: each arm's trial is an independent
+// network with the same seed, so batching arms must change nothing.
+func TestAblationGammaScenarioEquivalence(t *testing.T) {
+	rows, err := AblationGamma(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas := []float64{1, 2, 4, 8, 16}
+	if len(rows) != len(gammas) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, g := range gammas {
+		p := DefaultCwndTraceParams(3)
+		p.Seed = 42
+		p.Transport.Gamma = g
+		r, err := Fig1CwndTrace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rowFromTrace(rows[i].Label, r)
+		if rows[i] != want {
+			t.Errorf("gamma=%g: scenario row %+v != per-call row %+v", g, rows[i], want)
+		}
+	}
+}
+
+// TestFig1DownloadCDFScenarioEquivalence asserts the CDF adapter's
+// declarative scenario matches running each arm by hand through the
+// workload package — the legacy execution path.
+func TestFig1DownloadCDFScenarioEquivalence(t *testing.T) {
+	p := smallCDFParams(42)
+	res, err := Fig1DownloadCDF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range p.Policies {
+		sp := p.Scenario
+		sp.Transport.Policy = policy
+		sc, err := workload.Build(p.Seed, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []float64
+		for _, r := range sc.Run(p.Horizon) {
+			if r.Done {
+				want = append(want, r.TTLB.Seconds())
+			}
+		}
+		sort.Float64s(want)
+		got := res.Arm(policy).TTLB.Sorted()
+		if len(got) != len(want) {
+			t.Fatalf("arm %q: %d vs %d samples", policy, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("arm %q sample %d: %v vs %v", policy, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestExtensionDynamicRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second capacity-step run")
+	}
 	base := DynamicRestartParams{
 		Seed:       42,
 		BeforeRate: units.Mbps(8),

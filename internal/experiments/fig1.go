@@ -1,7 +1,10 @@
 // Package experiments implements one entry point per figure of the
-// paper plus the ablations listed in DESIGN.md. Each experiment returns
-// a plain result struct that the CLI renders, benchmarks regenerate, and
-// tests assert shape properties on.
+// paper plus the ablations listed in DESIGN.md. Every entry point is a
+// thin adapter over the declarative scenario API: it renders its params
+// into a scenario.Scenario, hands it to a scenario.Runner, and reshapes
+// the aggregated Result into the figure's historical result struct —
+// same signatures, same seeded outputs, but multi-arm sweeps now run
+// their arms in parallel.
 package experiments
 
 import (
@@ -11,6 +14,7 @@ import (
 	"circuitstart/internal/core"
 	"circuitstart/internal/metrics"
 	"circuitstart/internal/netem"
+	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/transport"
 	"circuitstart/internal/units"
@@ -56,6 +60,52 @@ func DefaultCwndTraceParams(bottleneckHop int) CwndTraceParams {
 	}
 }
 
+// Scenario renders the params into the declarative single-circuit
+// scenario the runner executes, with one policy arm per entry. The
+// first relay is "relay-1"; the bottleneck sits at BottleneckHop.
+func (p CwndTraceParams) Scenario(arms []scenario.Arm) scenario.Scenario {
+	relays := make([]scenario.RelaySpec, p.Hops)
+	path := make([]netem.NodeID, p.Hops)
+	for i := range relays {
+		id := netem.NodeID(fmt.Sprintf("relay-%d", i+1))
+		rate := p.FastRate
+		if i == p.BottleneckHop-1 {
+			rate = p.BottleneckRate
+		}
+		relays[i] = scenario.RelaySpec{ID: id, Access: netem.Symmetric(rate, p.AccessDelay, 0)}
+		path[i] = id
+	}
+	return scenario.Scenario{
+		Name:     "fig1-cwnd-trace",
+		Seed:     p.Seed,
+		Topology: scenario.Topology{Relays: relays},
+		Circuits: scenario.CircuitSet{
+			Count:        1,
+			Paths:        [][]netem.NodeID{path},
+			TransferSize: p.TransferSize,
+		},
+		Arms:           arms,
+		ClientAccess:   netem.Symmetric(p.FastRate, p.AccessDelay, 0),
+		Horizon:        p.Horizon,
+		RunFullHorizon: true,
+		Probes:         scenario.Probes{TraceCwnd: true},
+	}
+}
+
+// validate checks the params and fills defaults in place.
+func (p *CwndTraceParams) validate() error {
+	if p.Hops < 1 {
+		return fmt.Errorf("experiments: %d hops", p.Hops)
+	}
+	if p.BottleneckHop < 1 || p.BottleneckHop > p.Hops {
+		return fmt.Errorf("experiments: bottleneck hop %d outside 1..%d", p.BottleneckHop, p.Hops)
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 2 * sim.Second
+	}
+	return nil
+}
+
 // CwndTraceResult is one Figure-1-upper-panel run.
 type CwndTraceResult struct {
 	Params CwndTraceParams
@@ -85,54 +135,16 @@ func (r CwndTraceResult) CwndKBPoints() []metrics.Point {
 	return pts
 }
 
-// Fig1CwndTrace runs one single-circuit trace (Figure 1, upper panels).
-func Fig1CwndTrace(p CwndTraceParams) (CwndTraceResult, error) {
-	if p.Hops < 1 {
-		return CwndTraceResult{}, fmt.Errorf("experiments: %d hops", p.Hops)
-	}
-	if p.BottleneckHop < 1 || p.BottleneckHop > p.Hops {
-		return CwndTraceResult{}, fmt.Errorf("experiments: bottleneck hop %d outside 1..%d", p.BottleneckHop, p.Hops)
-	}
-	if p.Horizon <= 0 {
-		p.Horizon = 2 * sim.Second
-	}
-
-	n := core.NewNetwork(p.Seed)
-	relayIDs := make([]netem.NodeID, p.Hops)
-	for i := range relayIDs {
-		id := netem.NodeID(fmt.Sprintf("relay-%d", i+1))
-		rate := p.FastRate
-		if i == p.BottleneckHop-1 {
-			rate = p.BottleneckRate
-		}
-		if _, err := n.AddRelay(id, netem.Symmetric(rate, p.AccessDelay, 0)); err != nil {
-			return CwndTraceResult{}, err
-		}
-		relayIDs[i] = id
-	}
-	c, err := n.BuildCircuit(core.CircuitSpec{
-		Source:       "client",
-		Sink:         "server",
-		SourceAccess: netem.Symmetric(p.FastRate, p.AccessDelay, 0),
-		SinkAccess:   netem.Symmetric(p.FastRate, p.AccessDelay, 0),
-		Relays:       relayIDs,
-		Transport:    p.Transport,
-		TraceCwnd:    true,
-	})
-	if err != nil {
-		return CwndTraceResult{}, err
-	}
-	c.Transfer(p.TransferSize, nil)
-	n.RunUntil(p.Horizon)
-
+// traceResult reshapes one scenario circuit outcome into the figure's
+// result struct, deriving the trace statistics.
+func traceResult(p CwndTraceParams, o scenario.CircuitOutcome) CwndTraceResult {
 	res := CwndTraceResult{
 		Params:       p,
-		Trace:        c.SourceTrace(),
-		OptimalCells: c.ModelPath().OptimalSourceWindowCells(),
+		Trace:        o.Trace,
+		OptimalCells: o.OptimalCells,
+		ExitCwnd:     o.ExitCwnd,
+		ExitTime:     o.ExitTime,
 	}
-	st := c.SourceSender().Stats()
-	res.ExitCwnd = st.ExitCwnd
-	res.ExitTime = st.ExitTime
 	if peak, ok := res.Trace.Max(); ok {
 		res.PeakCells = peak
 	}
@@ -144,7 +156,21 @@ func Fig1CwndTrace(p CwndTraceParams) (CwndTraceResult, error) {
 	} else {
 		res.SettleTime = -1
 	}
-	return res, nil
+	return res
+}
+
+// Fig1CwndTrace runs one single-circuit trace (Figure 1, upper panels).
+func Fig1CwndTrace(p CwndTraceParams) (CwndTraceResult, error) {
+	if err := p.validate(); err != nil {
+		return CwndTraceResult{}, err
+	}
+	res, err := scenario.Runner{Workers: 1}.Run(p.Scenario([]scenario.Arm{
+		{Name: "trace", Transport: p.Transport},
+	}))
+	if err != nil {
+		return CwndTraceResult{}, err
+	}
+	return traceResult(p, res.Arms[0].Circuits[0]), nil
 }
 
 // CDFParams configures the aggregate download experiment of Figure 1's
@@ -169,6 +195,38 @@ func DefaultCDFParams() CDFParams {
 		Scenario: workload.DefaultScenario(),
 		Policies: []string{"circuitstart", "backtap"},
 		Horizon:  600 * sim.Second,
+	}
+}
+
+// ToScenario renders the params into the declarative aggregate scenario
+// with one arm per policy.
+func (p CDFParams) ToScenario() scenario.Scenario {
+	arms := make([]scenario.Arm, len(p.Policies))
+	for i, policy := range p.Policies {
+		t := p.Scenario.Transport
+		t.Policy = policy
+		arms[i] = scenario.Arm{Name: policy, Transport: t}
+	}
+	var arrival scenario.Arrival
+	if p.Scenario.StartSpread > 0 {
+		arrival = scenario.Arrival{Kind: scenario.ArriveUniform, Spread: p.Scenario.StartSpread}
+	}
+	relays := p.Scenario.Relays
+	return scenario.Scenario{
+		Name:     "fig1-download-cdf",
+		Seed:     p.Seed,
+		Topology: scenario.Topology{Population: &relays},
+		Circuits: scenario.CircuitSet{
+			Count:        p.Scenario.Circuits,
+			Hops:         p.Scenario.HopsPerCircuit,
+			TransferSize: p.Scenario.TransferSize,
+			Download:     p.Scenario.Download,
+			Arrival:      arrival,
+		},
+		Arms:         arms,
+		ClientAccess: p.Scenario.ClientAccess,
+		Horizon:      p.Horizon,
+		Probes:       scenario.Probes{TraceCwnd: p.Scenario.TraceCwnd},
 	}
 }
 
@@ -207,7 +265,8 @@ func (r CDFResult) MedianGap(a, b string) float64 {
 
 // Fig1DownloadCDF runs the aggregate experiment once per policy arm on
 // identical topologies and workloads (same seed), so differences in the
-// TTLB distribution are attributable to the start-up scheme alone.
+// TTLB distribution are attributable to the start-up scheme alone. Arms
+// run in parallel, one worker per CPU.
 func Fig1DownloadCDF(p CDFParams) (CDFResult, error) {
 	if len(p.Policies) == 0 {
 		p.Policies = []string{"circuitstart", "backtap"}
@@ -215,23 +274,13 @@ func Fig1DownloadCDF(p CDFParams) (CDFResult, error) {
 	if p.Horizon <= 0 {
 		p.Horizon = 600 * sim.Second
 	}
+	sres, err := scenario.Run(p.ToScenario())
+	if err != nil {
+		return CDFResult{}, err
+	}
 	res := CDFResult{Params: p}
-	for _, policy := range p.Policies {
-		sp := p.Scenario
-		sp.Transport.Policy = policy
-		sc, err := workload.Build(p.Seed, sp)
-		if err != nil {
-			return CDFResult{}, fmt.Errorf("experiments: arm %q: %w", policy, err)
-		}
-		arm := CDFArm{Policy: policy, TTLB: metrics.NewDistribution("ttlb_" + policy)}
-		for _, r := range sc.Run(p.Horizon) {
-			if !r.Done {
-				arm.Incomplete++
-				continue
-			}
-			arm.TTLB.Add(r.TTLB.Seconds())
-		}
-		res.Arms = append(res.Arms, arm)
+	for _, arm := range sres.Arms {
+		res.Arms = append(res.Arms, CDFArm{Policy: arm.Name, TTLB: arm.TTLB, Incomplete: arm.Incomplete})
 	}
 	return res, nil
 }

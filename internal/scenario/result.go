@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/traceio"
+)
+
+// CircuitOutcome is one circuit's outcome in one trial.
+type CircuitOutcome struct {
+	// Replication and Index locate the circuit in the expansion.
+	Replication, Index int
+	// TTLB is the transfer's time-to-last-byte (valid when Done).
+	TTLB time.Duration
+	// Done reports whether the transfer completed within the horizon.
+	Done bool
+	// Trace is the source's cwnd series in cells (nil unless
+	// Probes.TraceCwnd was set).
+	Trace *metrics.Series
+	// OptimalCells is the analytic model's optimal source window.
+	OptimalCells float64
+	// ExitCwnd and ExitTime describe the startup exit.
+	ExitCwnd float64
+	ExitTime sim.Time
+	// Restarts counts re-probes the source performed.
+	Restarts uint64
+}
+
+// ArmResult aggregates one arm across all replications.
+type ArmResult struct {
+	// Name is the arm's label.
+	Name string
+	// TTLB pools the completed transfers' times-to-last-byte in
+	// seconds, in deterministic (replication, circuit) order.
+	TTLB *metrics.Distribution
+	// Incomplete counts transfers unfinished at the horizon.
+	Incomplete int
+	// Circuits holds every per-circuit outcome in (replication,
+	// circuit) order. Traces, when probed, are found here.
+	Circuits []CircuitOutcome
+}
+
+// Result is the aggregated outcome of a Runner.Run.
+type Result struct {
+	// Scenario echoes the (defaults-filled) scenario that ran.
+	Scenario Scenario
+	// Arms holds one aggregate per arm, in scenario order.
+	Arms []ArmResult
+}
+
+// Arm returns the named arm's aggregate, or nil.
+func (r *Result) Arm(name string) *ArmResult {
+	for i := range r.Arms {
+		if r.Arms[i].Name == name {
+			return &r.Arms[i]
+		}
+	}
+	return nil
+}
+
+// MedianGap returns arm a's median TTLB minus arm b's, in seconds —
+// negative when a is faster. It panics if either arm is missing or
+// completed no transfers within the horizon (check Incomplete first
+// when a horizon may be tight).
+func (r *Result) MedianGap(a, b string) float64 {
+	armA, armB := r.Arm(a), r.Arm(b)
+	if armA == nil || armB == nil {
+		panic(fmt.Sprintf("scenario: arms %q, %q not both present", a, b))
+	}
+	return armA.TTLB.Median() - armB.TTLB.Median()
+}
+
+// Summaries returns one summary per arm's TTLB distribution.
+func (r *Result) Summaries() []metrics.Summary {
+	out := make([]metrics.Summary, len(r.Arms))
+	for i := range r.Arms {
+		out[i] = r.Arms[i].TTLB.Summarize()
+	}
+	return out
+}
+
+// WriteText renders the per-arm summary table.
+func (r *Result) WriteText(w io.Writer) error {
+	dists := make([]*metrics.Distribution, len(r.Arms))
+	for i := range r.Arms {
+		dists[i] = r.Arms[i].TTLB
+	}
+	return traceio.WriteSummaryTable(w, dists...)
+}

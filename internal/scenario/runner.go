@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"circuitstart/internal/core"
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// Runner executes a Scenario. It expands the scenario into
+// Replications × len(Arms) independent trials, runs them on a worker
+// pool, and aggregates the outcomes in fixed trial order — so the
+// Result is bit-identical for any Workers value.
+type Runner struct {
+	// Workers is the trial worker-pool size (≤ 0 = runtime.NumCPU()).
+	Workers int
+}
+
+// Run executes every trial of the scenario and aggregates a Result.
+func (r Runner) Run(sc Scenario) (*Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	trials := sc.Replications * len(sc.Arms)
+	outs := make([][]CircuitOutcome, trials)
+	errs := make([]error, trials)
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				rep, arm := i/len(sc.Arms), i%len(sc.Arms)
+				outs[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Scenario: sc, Arms: make([]ArmResult, len(sc.Arms))}
+	for i, a := range sc.Arms {
+		res.Arms[i] = ArmResult{Name: a.Name, TTLB: metrics.NewDistribution("ttlb_" + a.Name)}
+	}
+	for i := 0; i < trials; i++ {
+		arm := &res.Arms[i%len(sc.Arms)]
+		for _, o := range outs[i] {
+			arm.Circuits = append(arm.Circuits, o)
+			if o.Done {
+				arm.TTLB.Add(o.TTLB.Seconds())
+			} else {
+				arm.Incomplete++
+			}
+		}
+	}
+	return res, nil
+}
+
+// Run executes the scenario with a default Runner (one worker per CPU).
+func Run(sc Scenario) (*Result, error) { return Runner{}.Run(sc) }
+
+// trialSeed derives replication r's seed substream. Replication 0 uses
+// the scenario seed itself, so a single-replication scenario reproduces
+// the legacy entry points' outputs exactly.
+func trialSeed(seed int64, rep int) int64 {
+	if rep == 0 {
+		return seed
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/scenario-rep/%d", seed, rep)
+	return int64(h.Sum64())
+}
+
+// runTrial executes one (arm, replication) pair on its own network. A
+// panic in the simulator is converted into an error so one bad trial
+// fails the run cleanly instead of killing the worker pool.
+func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("scenario: arm %q rep %d panicked: %v", arm.Name, rep, p)
+		}
+	}()
+	if sc.Topology.Population != nil {
+		out, err = runGenerated(sc, arm, seed, rep)
+	} else {
+		out, err = runExplicit(sc, arm, seed, rep)
+	}
+	if err != nil {
+		err = fmt.Errorf("scenario: arm %q rep %d: %w", arm.Name, rep, err)
+	}
+	return out, err
+}
+
+// runGenerated executes one trial over a generated relay population via
+// the workload package. Together/uniform arrivals go through
+// workload.Scenario.Run — the exact execution path of the pre-scenario
+// experiments, preserving their seeded outputs bit for bit.
+func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, error) {
+	var spread time.Duration
+	if sc.Circuits.Arrival.Kind == ArriveUniform {
+		spread = sc.Circuits.Arrival.Spread
+	}
+	wsc, err := workload.Build(seed, workload.ScenarioParams{
+		Relays:         *sc.Topology.Population,
+		Circuits:       sc.Circuits.Count,
+		HopsPerCircuit: sc.Circuits.Hops,
+		TransferSize:   sc.Circuits.TransferSize,
+		Transport:      arm.Transport,
+		ClientAccess:   sc.ClientAccess,
+		StartSpread:    spread,
+		Download:       sc.Circuits.Download,
+		TraceCwnd:      sc.Probes.TraceCwnd,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sc.Circuits.Arrival.Kind == ArrivePoisson {
+		runTransfers(wsc.Network, wsc.Circuits, sc.Circuits, seed, sc.Horizon, false)
+	} else {
+		wsc.Run(sc.Horizon)
+	}
+	return collect(wsc.Circuits, rep, sc.Probes.TraceCwnd), nil
+}
+
+// runExplicit executes one trial over an explicit topology: attach the
+// listed relays in order, schedule link events, build each circuit
+// along its declared path, and run the transfers.
+func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, error) {
+	n := core.NewNetwork(seed)
+	for _, r := range sc.Topology.Relays {
+		if _, err := n.AddRelay(r.ID, r.Access); err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range sc.Events {
+		port := n.Relay(ev.Relay).Port()
+		rate := ev.Rate
+		n.Clock().At(ev.At, func() {
+			port.Uplink().SetRate(rate)
+			port.Downlink().SetRate(rate)
+		})
+	}
+	access := sc.ClientAccess
+	if access.UpRate == 0 {
+		access = netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0)
+	}
+	circuits := make([]*core.Circuit, sc.Circuits.Count)
+	for i := range circuits {
+		source, sink := netem.NodeID("client"), netem.NodeID("server")
+		if sc.Circuits.Count > 1 {
+			source = netem.NodeID(fmt.Sprintf("client-%03d", i))
+			sink = netem.NodeID(fmt.Sprintf("server-%03d", i))
+		}
+		c, err := n.BuildCircuit(core.CircuitSpec{
+			Source:       source,
+			Sink:         sink,
+			SourceAccess: access,
+			SinkAccess:   access,
+			Relays:       sc.Circuits.path(i),
+			Transport:    arm.Transport,
+			TraceCwnd:    sc.Probes.TraceCwnd,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("circuit %d: %w", i, err)
+		}
+		circuits[i] = c
+	}
+	runTransfers(n, circuits, sc.Circuits, seed, sc.Horizon, sc.RunFullHorizon)
+	return collect(circuits, rep, sc.Probes.TraceCwnd), nil
+}
+
+// runTransfers starts every circuit's transfer per the arrival process
+// and executes the simulation. Unless fullHorizon is set, the clock
+// stops as soon as the last transfer completes.
+func runTransfers(n *core.Network, circuits []*core.Circuit, cs CircuitSet, seed int64, horizon sim.Time, fullHorizon bool) {
+	delays := arrivalDelays(seed, cs, len(circuits))
+	remaining := len(circuits)
+	for i, c := range circuits {
+		circ := c
+		start := func() {
+			var done func(time.Duration)
+			if !fullHorizon {
+				done = func(time.Duration) {
+					remaining--
+					if remaining == 0 {
+						n.Clock().Stop()
+					}
+				}
+			}
+			if cs.Download {
+				circ.TransferBackward(cs.TransferSize, done)
+			} else {
+				circ.Transfer(cs.TransferSize, done)
+			}
+		}
+		if delays[i] == 0 {
+			start()
+		} else {
+			n.Clock().After(delays[i], start)
+		}
+	}
+	n.RunUntil(horizon)
+}
+
+// arrivalDelays renders the arrival process into per-circuit start
+// offsets, drawn from seed-derived streams so they are identical across
+// arms and worker counts.
+func arrivalDelays(seed int64, cs CircuitSet, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	switch cs.Arrival.Kind {
+	case ArriveUniform:
+		rng := sim.NewRNG(seed, "scenario-starts")
+		for i := range out {
+			out[i] = time.Duration(rng.Int63n(int64(cs.Arrival.Spread)))
+		}
+	case ArrivePoisson:
+		rng := sim.NewRNG(seed, "scenario-arrivals")
+		var at time.Duration
+		for i := range out {
+			at += time.Duration(rng.Exponential(1/cs.Arrival.Rate) * float64(time.Second))
+			out[i] = at
+		}
+	}
+	return out
+}
+
+// collect extracts one outcome per circuit after a trial has run.
+func collect(circuits []*core.Circuit, rep int, traced bool) []CircuitOutcome {
+	out := make([]CircuitOutcome, len(circuits))
+	for i, c := range circuits {
+		ttlb, done := c.TTLB()
+		o := CircuitOutcome{
+			Replication:  rep,
+			Index:        i,
+			TTLB:         ttlb,
+			Done:         done,
+			OptimalCells: c.ModelPath().OptimalSourceWindowCells(),
+		}
+		st := c.SourceSender().Stats()
+		o.ExitCwnd, o.ExitTime, o.Restarts = st.ExitCwnd, st.ExitTime, st.Restarts
+		if traced {
+			o.Trace = c.SourceTrace()
+		}
+		out[i] = o
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package scenario is the declarative experiment layer: a Scenario
+// describes a complete experiment — topology, circuits, policy arms and
+// instrumentation — as plain data, and a Runner expands it into
+// independent trials, fans them out across a worker pool and aggregates
+// the outcomes into a Result.
+//
+// Every figure and ablation of the paper is expressible as a Scenario
+// (package experiments builds exactly those), but the API composes
+// beyond them: arbitrary policy arms, explicit or generated topologies,
+// Poisson arrivals, capacity-step events and replicated runs.
+//
+// Determinism is a hard guarantee: each trial builds its own
+// core.Network from a seed-derived substream and the aggregation order
+// is fixed by the trial index, so a Result is bit-identical regardless
+// of the worker count or the order in which trials happen to finish.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"circuitstart/internal/core"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// RelaySpec pins one explicit relay of a Scenario topology.
+type RelaySpec struct {
+	ID     netem.NodeID
+	Access netem.AccessConfig
+}
+
+// Topology describes a Scenario's relay population. Exactly one of
+// Relays (an explicit, fixed topology — the single-circuit figure
+// setups) or Population (a generated Tor-like population — the
+// aggregate experiments) must be set.
+type Topology struct {
+	// Relays lists explicit relays, attached in order.
+	Relays []RelaySpec
+	// Population generates a seeded synthetic relay population with a
+	// bandwidth-weighted consensus for path sampling.
+	Population *workload.RelayParams
+}
+
+// ArrivalKind selects a circuit arrival process.
+type ArrivalKind int
+
+const (
+	// ArriveTogether starts every transfer at t = 0.
+	ArriveTogether ArrivalKind = iota
+	// ArriveUniform staggers starts uniformly in [0, Spread).
+	ArriveUniform
+	// ArrivePoisson draws successive inter-arrival gaps from
+	// Exp(1/Rate) — an open-loop arrival process.
+	ArrivePoisson
+)
+
+// Arrival describes when each circuit's transfer begins.
+type Arrival struct {
+	Kind ArrivalKind
+	// Spread is the uniform stagger window (ArriveUniform).
+	Spread time.Duration
+	// Rate is the mean arrival rate per second (ArrivePoisson).
+	Rate float64
+}
+
+// CircuitSet describes the circuits of one trial.
+type CircuitSet struct {
+	// Count is the number of concurrent circuits. Zero defaults to
+	// len(Paths) on explicit topologies.
+	Count int
+	// Paths fixes each circuit's relay sequence (required with an
+	// explicit Topology). A single path is shared by all Count
+	// circuits; otherwise len(Paths) must equal Count. Leave empty on
+	// generated topologies: paths are then sampled bandwidth-weighted
+	// from the population consensus, as Tor selects them.
+	Paths [][]netem.NodeID
+	// Hops is the sampled path length on generated topologies
+	// (default 3).
+	Hops int
+	// TransferSize is the fixed transfer per circuit.
+	TransferSize units.DataSize
+	// Download runs transfers in the backward direction
+	// (server → client through the onion).
+	Download bool
+	// Arrival is the start-time process (default: all at t = 0).
+	Arrival Arrival
+}
+
+// Arm is one policy configuration to run the scenario under. Every arm
+// sees the identical topology and workload (same seed), so outcome
+// differences are attributable to the transport configuration alone.
+type Arm struct {
+	// Name labels the arm in the Result (e.g. the policy name).
+	Name string
+	// Transport configures every circuit hop under this arm.
+	Transport core.TransportOptions
+}
+
+// Probes selects per-circuit instrumentation.
+type Probes struct {
+	// TraceCwnd records each source's congestion window over time
+	// (memory-heavy; the single-circuit figures need it).
+	TraceCwnd bool
+}
+
+// LinkEvent is a scheduled mid-run capacity change on an explicit
+// relay's access link — the dynamic-network extension experiments.
+type LinkEvent struct {
+	At    sim.Time
+	Relay netem.NodeID
+	Rate  units.DataRate
+}
+
+// Scenario declaratively describes one experiment. It is plain data:
+// build it literally, or start from an adapter in package experiments
+// and tweak. Run it with a Runner.
+type Scenario struct {
+	// Name labels the scenario in summaries.
+	Name string
+	// Seed drives all randomness. Replication r > 0 derives an
+	// independent substream; replication 0 uses Seed itself.
+	Seed int64
+	// Topology is the relay population (explicit or generated).
+	Topology Topology
+	// Circuits describes the workload.
+	Circuits CircuitSet
+	// Arms are the policy configurations to compare. At least one.
+	Arms []Arm
+	// ClientAccess configures source/sink attachment. Zero selects a
+	// fast 100 Mbit/s, 5 ms access; on a generated topology its queues
+	// are bounded by the population's QueueCap (the workload default),
+	// on an explicit topology they are unbounded (the figure setups).
+	ClientAccess netem.AccessConfig
+	// Horizon bounds each trial's virtual time.
+	Horizon sim.Time
+	// RunFullHorizon keeps the clock running to Horizon even after all
+	// transfers complete, so cwnd traces include the post-convergence
+	// tail (explicit topologies only).
+	RunFullHorizon bool
+	// Replications repeats every arm with an independent seed
+	// substream (0 = 1). Arm distributions pool all replications.
+	Replications int
+	// Events schedules mid-run link-capacity changes (explicit
+	// topologies only).
+	Events []LinkEvent
+	// Probes selects instrumentation.
+	Probes Probes
+}
+
+// validate checks the scenario and fills defaulted fields in place.
+func (sc *Scenario) validate() error {
+	explicit := len(sc.Topology.Relays) > 0
+	generated := sc.Topology.Population != nil
+	if explicit == generated {
+		return fmt.Errorf("scenario: topology needs exactly one of explicit Relays or a generated Population")
+	}
+	if len(sc.Arms) == 0 {
+		return fmt.Errorf("scenario: no arms")
+	}
+	seen := make(map[string]bool, len(sc.Arms))
+	for i, a := range sc.Arms {
+		if a.Name == "" {
+			return fmt.Errorf("scenario: arm %d has no name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("scenario: duplicate arm %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if sc.Horizon <= 0 {
+		return fmt.Errorf("scenario: non-positive horizon")
+	}
+	if sc.Replications < 0 {
+		return fmt.Errorf("scenario: negative replications")
+	}
+	if sc.Replications == 0 {
+		sc.Replications = 1
+	}
+	if sc.Circuits.TransferSize <= 0 {
+		return fmt.Errorf("scenario: transfer size %v", sc.Circuits.TransferSize)
+	}
+	switch sc.Circuits.Arrival.Kind {
+	case ArriveTogether:
+	case ArriveUniform:
+		if sc.Circuits.Arrival.Spread <= 0 {
+			return fmt.Errorf("scenario: uniform arrival needs a positive spread")
+		}
+	case ArrivePoisson:
+		if sc.Circuits.Arrival.Rate <= 0 {
+			return fmt.Errorf("scenario: poisson arrival needs a positive rate")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown arrival kind %d", sc.Circuits.Arrival.Kind)
+	}
+	if explicit {
+		if len(sc.Circuits.Paths) == 0 {
+			return fmt.Errorf("scenario: explicit topology needs explicit circuit paths")
+		}
+		if sc.Circuits.Count == 0 {
+			sc.Circuits.Count = len(sc.Circuits.Paths)
+		}
+		if len(sc.Circuits.Paths) != 1 && len(sc.Circuits.Paths) != sc.Circuits.Count {
+			return fmt.Errorf("scenario: %d paths for %d circuits", len(sc.Circuits.Paths), sc.Circuits.Count)
+		}
+		ids := make(map[netem.NodeID]bool, len(sc.Topology.Relays))
+		for _, r := range sc.Topology.Relays {
+			if ids[r.ID] {
+				return fmt.Errorf("scenario: duplicate relay %q", r.ID)
+			}
+			ids[r.ID] = true
+		}
+		for i, path := range sc.Circuits.Paths {
+			if len(path) == 0 {
+				return fmt.Errorf("scenario: empty path %d", i)
+			}
+			for _, id := range path {
+				if !ids[id] {
+					return fmt.Errorf("scenario: path %d names unknown relay %q", i, id)
+				}
+			}
+		}
+		for _, ev := range sc.Events {
+			if !ids[ev.Relay] {
+				return fmt.Errorf("scenario: event names unknown relay %q", ev.Relay)
+			}
+			if ev.Rate <= 0 {
+				return fmt.Errorf("scenario: event rate %v", ev.Rate)
+			}
+		}
+	} else {
+		if len(sc.Circuits.Paths) != 0 {
+			return fmt.Errorf("scenario: generated topology samples its paths; drop Circuits.Paths")
+		}
+		if sc.Circuits.Count <= 0 {
+			return fmt.Errorf("scenario: %d circuits", sc.Circuits.Count)
+		}
+		if sc.Circuits.Hops == 0 {
+			sc.Circuits.Hops = 3
+		}
+		if len(sc.Events) != 0 {
+			return fmt.Errorf("scenario: link events need an explicit topology")
+		}
+		if sc.RunFullHorizon {
+			return fmt.Errorf("scenario: RunFullHorizon needs an explicit topology")
+		}
+	}
+	if sc.Circuits.Count <= 0 {
+		return fmt.Errorf("scenario: %d circuits", sc.Circuits.Count)
+	}
+	return nil
+}
+
+// path returns circuit i's relay sequence on an explicit topology.
+func (cs CircuitSet) path(i int) []netem.NodeID {
+	if len(cs.Paths) == 1 {
+		return cs.Paths[0]
+	}
+	return cs.Paths[i]
+}
