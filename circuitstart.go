@@ -69,7 +69,8 @@ import (
 
 // Core simulation types.
 type (
-	// Network is a star-topology overlay: attach relays, build circuits.
+	// Network is an overlay on a topology fabric (star by default):
+	// attach relays, build circuits.
 	Network = core.Network
 	// Circuit is an onion-encrypted multi-hop path with per-hop
 	// window-based transport.
@@ -81,8 +82,22 @@ type (
 	TransportOptions = core.TransportOptions
 	// NodeID names a node in the overlay.
 	NodeID = netem.NodeID
-	// AccessConfig describes a node's attachment to the star.
+	// AccessConfig describes a node's attachment to the fabric.
 	AccessConfig = netem.AccessConfig
+	// Fabric is the pluggable topology substrate.
+	Fabric = netem.Fabric
+	// SwitchID names a backbone switch of a routed fabric.
+	SwitchID = netem.SwitchID
+	// GraphSpec is the data description of a routed backbone
+	// (switches, trunks, node homes) for Topology.Fabric.
+	GraphSpec = netem.GraphSpec
+	// TrunkSpec declares one backbone trunk of a GraphSpec.
+	TrunkSpec = netem.TrunkSpec
+	// TrunkConfig describes a trunk's per-direction link parameters.
+	TrunkConfig = netem.TrunkConfig
+	// BackboneParams shapes a generated backbone population
+	// (N relays behind K trunked switches).
+	BackboneParams = workload.BackboneParams
 	// DataSize is an amount of data in bytes.
 	DataSize = units.DataSize
 	// DataRate is a transmission rate in bits per second.
@@ -111,6 +126,8 @@ type (
 	ScenarioParams = workload.ScenarioParams
 	// DynamicRestartParams configures the capacity-step extension run.
 	DynamicRestartParams = experiments.DynamicRestartParams
+	// SharedBottleneckParams configures the shared-trunk ablation.
+	SharedBottleneckParams = experiments.SharedBottleneckParams
 )
 
 // Declarative experiment API: a Scenario describes an experiment as
@@ -131,8 +148,13 @@ type (
 	Arm = scenario.Arm
 	// Probes selects per-circuit instrumentation.
 	Probes = scenario.Probes
-	// LinkEvent schedules a mid-run access-capacity change.
+	// LinkEvent schedules a mid-run capacity change on a relay's
+	// access links or on a backbone trunk.
 	LinkEvent = scenario.LinkEvent
+	// NetStats aggregates fabric drop counters and trunk stats per arm.
+	NetStats = scenario.NetStats
+	// TrunkStat is one trunk link's pooled counters.
+	TrunkStat = scenario.TrunkStat
 	// Runner executes a Scenario across a worker pool.
 	Runner = scenario.Runner
 	// ScenarioResult is a Runner's aggregated outcome.
@@ -143,6 +165,16 @@ type (
 	CircuitOutcome = scenario.CircuitOutcome
 	// RelayParams shapes a generated relay population.
 	RelayParams = workload.RelayParams
+)
+
+// Backbone trunk meshes for BackboneParams.Kind.
+const (
+	// BackboneRing joins the switches in a cycle.
+	BackboneRing = workload.BackboneRing
+	// BackboneLine joins consecutive switches only.
+	BackboneLine = workload.BackboneLine
+	// BackboneFull trunks every switch pair.
+	BackboneFull = workload.BackboneFull
 )
 
 // Arrival processes for CircuitSet.Arrival.Kind.
@@ -157,10 +189,20 @@ const (
 
 // Constructors and helpers re-exported from the internal packages.
 var (
-	// NewNetwork creates an overlay whose randomness derives from seed.
+	// NewNetwork creates a star overlay whose randomness derives from
+	// seed.
 	NewNetwork = core.NewNetwork
+	// NewNetworkWithFabric creates an overlay on a custom topology
+	// fabric (e.g. a GraphSpec's Build).
+	NewNetworkWithFabric = core.NewNetworkWithFabric
 	// Symmetric builds an AccessConfig with equal up/down rates.
 	Symmetric = netem.Symmetric
+	// SymmetricTrunk builds a lossless TrunkConfig.
+	SymmetricTrunk = netem.SymmetricTrunk
+	// GenerateBackbone renders BackboneParams into a GraphSpec.
+	GenerateBackbone = workload.GenerateBackbone
+	// DefaultBackboneParams returns n relays behind k ring switches.
+	DefaultBackboneParams = workload.DefaultBackboneParams
 	// Mbps constructs a DataRate from megabits per second.
 	Mbps = units.Mbps
 	// Kbps constructs a DataRate from kilobits per second.
@@ -188,6 +230,11 @@ var (
 	AblationConcurrency = experiments.AblationConcurrency
 	// ExtensionDynamicRestart runs the capacity-step extension.
 	ExtensionDynamicRestart = experiments.ExtensionDynamicRestart
+	// AblationSharedBottleneck runs M circuits across one shared
+	// backbone trunk, CircuitStart vs slow start.
+	AblationSharedBottleneck = experiments.AblationSharedBottleneck
+	// DefaultSharedBottleneckParams mirrors the shared-trunk setup.
+	DefaultSharedBottleneckParams = experiments.DefaultSharedBottleneckParams
 
 	// RunScenario executes a Scenario with a default Runner (one
 	// worker per CPU).

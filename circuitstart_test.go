@@ -68,3 +68,42 @@ func TestPublicAPIExperiments(t *testing.T) {
 		t.Fatalf("empty result: %+v", r)
 	}
 }
+
+// TestPublicAPIBackbone exercises the routed-fabric surface through the
+// facade only: a generated backbone spec, a scenario on it, a trunk
+// capacity event, and the per-trunk stats in the result.
+func TestPublicAPIBackbone(t *testing.T) {
+	bp := circuitstart.DefaultBackboneParams(8, 2)
+	bp.Kind = circuitstart.BackboneLine
+	spec, err := circuitstart.GenerateBackbone(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := bp.Relays
+	res, err := circuitstart.Runner{Workers: 2}.Run(circuitstart.Scenario{
+		Seed:     9,
+		Topology: circuitstart.Topology{Population: &pop, Fabric: &spec},
+		Circuits: circuitstart.CircuitSet{
+			Count:        4,
+			TransferSize: 100 * circuitstart.Kilobyte,
+		},
+		Arms: []circuitstart.Arm{{Name: "default"}},
+		Events: []circuitstart.LinkEvent{
+			{At: circuitstart.Second, TrunkA: "core-00", TrunkB: "core-01", Rate: circuitstart.Mbps(400)},
+		},
+		Horizon: 600 * circuitstart.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm := res.Arms[0]
+	if arm.Incomplete != 0 {
+		t.Fatalf("%d transfers incomplete", arm.Incomplete)
+	}
+	if arm.Net.UnknownDst != 0 || arm.Net.Unroutable != 0 {
+		t.Fatalf("fabric dropped frames: %+v", arm.Net)
+	}
+	if len(arm.Trunks()) != 2 {
+		t.Fatalf("%d trunk stats, want 2", len(arm.Trunks()))
+	}
+}

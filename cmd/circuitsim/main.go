@@ -5,7 +5,7 @@
 //
 //	circuitsim fig1-cwnd  [-distance N] [-policy P] [-seed S] [-csv out.csv]
 //	circuitsim fig1-cdf   [-circuits K] [-relays N] [-size BYTES] [-seed S] [-csv out.csv]
-//	circuitsim ablation   [-name gamma|compensation|clock|position|concurrency] [-seed S]
+//	circuitsim ablation   [-name gamma|compensation|clock|position|concurrency|extensions|vegas|shared] [-seed S]
 //	circuitsim dynamic    [-before MBPS] [-after MBPS] [-restart R] [-seed S]
 //	circuitsim scenario   [-arms P1,P2,…] [-circuits K] [-relays N] [-workers W]
 //	                      [-reps R] [-poisson RATE] [-download] [-csv out.csv]
@@ -70,7 +70,8 @@ func usage() {
 Commands:
   fig1-cwnd   single-circuit source cwnd trace (Figure 1, upper panels)
   fig1-cdf    download-time CDF, with vs without CircuitStart (Figure 1, lower)
-  ablation    design-choice sweeps: gamma, compensation, clock, position, concurrency
+  ablation    design-choice sweeps: gamma, compensation, clock, position,
+              concurrency, extensions, vegas, shared (circuits over one trunk)
   dynamic     capacity-step extension (future-work experiment)
   scenario    declarative multi-arm sweep on the parallel runner
 
@@ -177,8 +178,10 @@ func runFig1CDF(args []string) error {
 
 func runAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
-	name := fs.String("name", "gamma", "gamma | compensation | clock | position | concurrency | extensions | vegas")
+	name := fs.String("name", "gamma", "gamma | compensation | clock | position | concurrency | extensions | vegas | shared")
 	seed := fs.Int64("seed", 42, "experiment seed")
+	circuits := fs.Int("circuits", 8, "circuits sharing the trunk (shared only)")
+	trunk := fs.Float64("trunk", 16, "shared trunk rate [Mbit/s] (shared only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,6 +223,23 @@ func runAblation(args []string) error {
 			return err
 		}
 		return printAblation(rows)
+	case "shared":
+		p := experiments.DefaultSharedBottleneckParams()
+		p.Seed = *seed
+		p.Circuits = *circuits
+		p.TrunkRate = units.Mbps(*trunk)
+		res, err := experiments.AblationSharedBottleneck(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ablation shared-bottleneck: %d circuits across one %s trunk, %s each\n",
+			p.Circuits, p.TrunkRate, p.TransferSize)
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("median improvement with CircuitStart: %.3f s\n",
+			-res.MedianGap("circuitstart", "slowstart"))
+		return nil
 	case "concurrency":
 		rows, err := experiments.AblationConcurrency(*seed, nil)
 		if err != nil {

@@ -59,6 +59,15 @@ func TestRunAblation(t *testing.T) {
 	}
 }
 
+func TestRunAblationShared(t *testing.T) {
+	if err := runAblation([]string{"-name", "shared", "-circuits", "3", "-trunk", "24"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAblation([]string{"-name", "shared", "-circuits", "0"}); err == nil {
+		t.Fatal("zero circuits accepted")
+	}
+}
+
 func TestRunDynamic(t *testing.T) {
 	if err := runDynamic([]string{"-before", "8", "-after", "24"}); err != nil {
 		t.Fatal(err)

@@ -236,23 +236,42 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 			c.sourceTrace.Record(clock.Now(), cwnd)
 		}
 	}
-	c.source = endpoint.NewSource(spec.Source, n.star, spec.SourceAccess,
+	c.source = endpoint.NewSource(spec.Source, n.fabric, spec.SourceAccess,
 		spec.ID, clientCrypto, spec.Relays[0], srcCfg, n.lossRNG)
 	sinkCfg := tmpl
 	if sinkCfg.Startup, err = spec.Transport.policy(); err != nil {
 		return nil, err
 	}
-	c.sink = endpoint.NewSink(spec.Sink, n.star, spec.SinkAccess,
+	c.sink = endpoint.NewSink(spec.Sink, n.fabric, spec.SinkAccess,
 		spec.ID, spec.Relays[len(spec.Relays)-1], sinkCfg, n.lossRNG)
 
-	// Analytic model of the same path.
-	cfgs := make([]netem.AccessConfig, 0, len(spec.Relays)+2)
-	cfgs = append(cfgs, spec.SourceAccess)
-	for _, id := range spec.Relays {
-		cfgs = append(cfgs, n.relays[id].Port().Config())
+	// Analytic model of the same path, including any backbone trunks
+	// each hop crosses on a routed fabric.
+	seq := make([]netem.NodeID, 0, len(spec.Relays)+2)
+	seq = append(seq, spec.Source)
+	seq = append(seq, spec.Relays...)
+	seq = append(seq, spec.Sink)
+	nodes := make([]model.Node, len(seq))
+	nodes[0] = model.FromAccess(spec.SourceAccess)
+	for i, id := range spec.Relays {
+		nodes[i+1] = model.FromAccess(n.relays[id].Port().Config())
 	}
-	cfgs = append(cfgs, spec.SinkAccess)
-	c.path = model.PathFromAccess(cfgs)
+	nodes[len(nodes)-1] = model.FromAccess(spec.SinkAccess)
+	// Forward and reverse routes separately: equal-cost routing may
+	// send the two directions over different physical trunks.
+	fwd := make([][]model.Transit, len(seq)-1)
+	rev := make([][]model.Transit, len(seq)-1)
+	for i := 0; i+1 < len(seq); i++ {
+		for _, l := range n.fabric.PathTransits(seq[i], seq[i+1]) {
+			lc := l.Config()
+			fwd[i] = append(fwd[i], model.Transit{Rate: lc.Rate, Delay: lc.Delay})
+		}
+		for _, l := range n.fabric.PathTransits(seq[i+1], seq[i]) {
+			lc := l.Config()
+			rev[i] = append(rev[i], model.Transit{Rate: lc.Rate, Delay: lc.Delay})
+		}
+	}
+	c.path = model.NewPathWithTransits(nodes, fwd, rev)
 
 	return c, nil
 }

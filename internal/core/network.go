@@ -1,5 +1,5 @@
 // Package core assembles the substrates into runnable experiments: a
-// Network owns the virtual clock, the star topology and the relay
+// Network owns the virtual clock, the topology fabric and the relay
 // population; a Circuit is an onion-encrypted multi-hop path across it
 // with a per-hop window-based transport on every hop.
 //
@@ -18,12 +18,14 @@ import (
 	"circuitstart/internal/sim"
 )
 
-// Network is a star-topology overlay under construction: attach relays,
-// then build circuits across them. All nodes share one virtual clock.
+// Network is an overlay under construction: attach relays, then build
+// circuits across them. All nodes share one virtual clock and one
+// topology fabric — the paper's star by default, or any netem.Fabric
+// via NewNetworkWithFabric.
 type Network struct {
-	clock *sim.Clock
-	star  *netem.Star
-	seed  int64
+	clock  *sim.Clock
+	fabric netem.Fabric
+	seed   int64
 
 	relays     map[netem.NodeID]*relay.Relay
 	identities map[netem.NodeID]*onion.Identity
@@ -33,17 +35,41 @@ type Network struct {
 	nextAutoCirc uint32
 }
 
-// NewNetwork creates an empty network. All randomness (key generation,
-// loss processes) derives deterministically from seed.
+// FabricBuilder constructs a network's topology substrate on its clock.
+// lossRNG is the network's shared loss stream ("netem-loss"), for
+// fabrics whose trunks drop frames randomly.
+type FabricBuilder func(clock *sim.Clock, lossRNG *sim.RNG) netem.Fabric
+
+// NewNetwork creates an empty star-topology network — the paper's
+// evaluation setup. All randomness (key generation, loss processes)
+// derives deterministically from seed.
 func NewNetwork(seed int64) *Network {
+	return NewNetworkWithFabric(seed, func(clock *sim.Clock, _ *sim.RNG) netem.Fabric {
+		return netem.NewStarFabric(clock)
+	})
+}
+
+// NewNetworkWithFabric creates an empty network whose topology is
+// produced by build — e.g. a netem.GraphSpec's Build for a routed
+// backbone. Every trial must build its own fabric; reusing one across
+// networks would share clocks and queues.
+func NewNetworkWithFabric(seed int64, build FabricBuilder) *Network {
 	clock := sim.NewClock()
+	lossRNG := sim.NewRNG(seed, "netem-loss")
+	fab := build(clock, lossRNG)
+	if fab == nil {
+		panic("core: FabricBuilder returned nil")
+	}
+	if fab.Clock() != clock {
+		panic("core: fabric built on a foreign clock")
+	}
 	return &Network{
 		clock:      clock,
-		star:       netem.NewStar(clock),
+		fabric:     fab,
 		seed:       seed,
 		relays:     make(map[netem.NodeID]*relay.Relay),
 		identities: make(map[netem.NodeID]*onion.Identity),
-		lossRNG:    sim.NewRNG(seed, "netem-loss"),
+		lossRNG:    lossRNG,
 		keyRNG:     sim.NewRNG(seed, "onion-keys"),
 	}
 }
@@ -51,9 +77,17 @@ func NewNetwork(seed int64) *Network {
 // Clock returns the shared virtual clock.
 func (n *Network) Clock() *sim.Clock { return n.clock }
 
-// Star exposes the underlying topology (for link statistics in tests
-// and experiments).
-func (n *Network) Star() *netem.Star { return n.star }
+// Fabric exposes the underlying topology (for link statistics, trunk
+// capacity events and routing diagnostics).
+func (n *Network) Fabric() netem.Fabric { return n.fabric }
+
+// Star is a compatibility shim for pre-Fabric callers: it returns the
+// underlying StarFabric, or nil when the network runs on a different
+// fabric. New code should use Fabric().
+func (n *Network) Star() *netem.Star {
+	s, _ := n.fabric.(*netem.StarFabric)
+	return s
+}
 
 // Seed returns the experiment seed the network was created with.
 func (n *Network) Seed() int64 { return n.seed }
@@ -78,7 +112,7 @@ func (n *Network) AddRelay(id netem.NodeID, access netem.AccessConfig) (*relay.R
 	if err != nil {
 		return nil, fmt.Errorf("core: relay %q identity: %w", id, err)
 	}
-	r := relay.New(id, n.star, access, n.lossRNG)
+	r := relay.New(id, n.fabric, access, n.lossRNG)
 	n.relays[id] = r
 	n.identities[id] = ident
 	return r, nil

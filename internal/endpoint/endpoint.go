@@ -43,15 +43,15 @@ type Source struct {
 	downDone     bool
 }
 
-// NewSource attaches a source node to the star. params is the transport
-// template (Clock/Circ/Send are filled in here); first is the circuit's
-// first relay.
-func NewSource(id netem.NodeID, star *netem.Star, access netem.AccessConfig,
+// NewSource attaches a source node to the fabric. params is the
+// transport template (Clock/Circ/Send are filled in here); first is the
+// circuit's first relay.
+func NewSource(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig,
 	circ cell.CircID, crypto *onion.CircuitCrypto, first netem.NodeID,
 	params transport.Config, rng *sim.RNG) *Source {
 
-	s := &Source{id: id, clock: star.Clock(), circ: circ, crypto: crypto, first: first}
-	s.port = star.Attach(id, access, netem.HandlerFunc(s.deliver), rng)
+	s := &Source{id: id, clock: fab.Clock(), circ: circ, crypto: crypto, first: first}
+	s.port = fab.Attach(id, access, netem.HandlerFunc(s.deliver), rng)
 
 	params.Clock = s.clock
 	params.Circ = circ
@@ -204,14 +204,14 @@ type Sink struct {
 	bsender *transport.Sender
 }
 
-// NewSink attaches a sink node to the star, receiving from exit. params
-// configures the backward (server → client) sender; the zero value
-// selects the transport defaults.
-func NewSink(id netem.NodeID, star *netem.Star, access netem.AccessConfig,
+// NewSink attaches a sink node to the fabric, receiving from exit.
+// params configures the backward (server → client) sender; the zero
+// value selects the transport defaults.
+func NewSink(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig,
 	circ cell.CircID, exit netem.NodeID, params transport.Config, rng *sim.RNG) *Sink {
 
-	k := &Sink{id: id, clock: star.Clock(), circ: circ, exit: exit}
-	k.port = star.Attach(id, access, netem.HandlerFunc(k.deliver), rng)
+	k := &Sink{id: id, clock: fab.Clock(), circ: circ, exit: exit}
+	k.port = fab.Attach(id, access, netem.HandlerFunc(k.deliver), rng)
 	k.recv = transport.NewReceiver(circ,
 		func(seg transport.Segment) bool {
 			seg.Dir = transport.DirForward

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"circuitstart/internal/core"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/scenario"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+// SharedBottleneckParams configures the shared-trunk ablation: M
+// disjoint circuits whose paths all cross one backbone trunk — the
+// congestion structure a star cannot express, because on a star every
+// circuit's bottleneck is an access link it owns alone.
+type SharedBottleneckParams struct {
+	Seed int64
+	// Circuits is M, the number of circuits sharing the trunk.
+	Circuits int
+	// TrunkRate is the shared trunk's per-direction capacity — the
+	// bottleneck, sized well below Circuits × AccessRate.
+	TrunkRate units.DataRate
+	// TrunkQueueCap bounds the trunk queue (0 = unbounded).
+	TrunkQueueCap units.DataSize
+	// AccessRate is every node's access capacity.
+	AccessRate units.DataRate
+	// Delay is the access and trunk one-way propagation delay.
+	Delay time.Duration
+	// TransferSize is the fixed transfer per circuit.
+	TransferSize units.DataSize
+	// Horizon bounds each trial.
+	Horizon sim.Time
+}
+
+// DefaultSharedBottleneckParams puts 8 circuits with 100 Mbit/s
+// accesses behind a 16 Mbit/s trunk: each circuit's fair share is a
+// fraction of its access rate, so all contention is on the trunk.
+func DefaultSharedBottleneckParams() SharedBottleneckParams {
+	return SharedBottleneckParams{
+		Seed:         42,
+		Circuits:     8,
+		TrunkRate:    units.Mbps(16),
+		AccessRate:   units.Mbps(100),
+		Delay:        5 * time.Millisecond,
+		TransferSize: 500 * units.Kilobyte,
+		Horizon:      300 * sim.Second,
+	}
+}
+
+// Scenario renders the params into the declarative two-arm scenario:
+// two switches joined by the shared trunk, and per circuit i a west
+// guard g-i and an east exit e-i, so circuit i's forward path
+// client-i → g-i → e-i → server-i crosses the trunk exactly once and
+// all M circuits contend there.
+func (p SharedBottleneckParams) Scenario() scenario.Scenario {
+	access := netem.Symmetric(p.AccessRate, p.Delay, 0)
+	spec := netem.GraphSpec{
+		Switches: []netem.SwitchID{"east", "west"},
+		Trunks: []netem.TrunkSpec{{
+			A: "west", B: "east",
+			Config: netem.TrunkConfig{Rate: p.TrunkRate, Delay: p.Delay, QueueCap: p.TrunkQueueCap},
+		}},
+		Homes: map[netem.NodeID]netem.SwitchID{
+			// Single-circuit runs name the endpoints without an index.
+			"client": "west", "server": "east",
+		},
+	}
+	relays := make([]scenario.RelaySpec, 0, 2*p.Circuits)
+	paths := make([][]netem.NodeID, p.Circuits)
+	for i := 0; i < p.Circuits; i++ {
+		g := netem.NodeID(fmt.Sprintf("g-%03d", i))
+		e := netem.NodeID(fmt.Sprintf("e-%03d", i))
+		relays = append(relays,
+			scenario.RelaySpec{ID: g, Access: access},
+			scenario.RelaySpec{ID: e, Access: access})
+		paths[i] = []netem.NodeID{g, e}
+		spec.Homes[g] = "west"
+		spec.Homes[e] = "east"
+		spec.Homes[netem.NodeID(fmt.Sprintf("client-%03d", i))] = "west"
+		spec.Homes[netem.NodeID(fmt.Sprintf("server-%03d", i))] = "east"
+	}
+	return scenario.Scenario{
+		Name:     "ablation-shared-bottleneck",
+		Seed:     p.Seed,
+		Topology: scenario.Topology{Relays: relays, Fabric: &spec},
+		Circuits: scenario.CircuitSet{
+			Count:        p.Circuits,
+			Paths:        paths,
+			TransferSize: p.TransferSize,
+			Arrival:      scenario.Arrival{Kind: scenario.ArriveUniform, Spread: 200 * time.Millisecond},
+		},
+		Arms: []scenario.Arm{
+			{Name: "circuitstart", Transport: core.TransportOptions{Policy: "circuitstart"}},
+			{Name: "slowstart", Transport: core.TransportOptions{Policy: "slowstart"}},
+		},
+		ClientAccess: access,
+		Horizon:      p.Horizon,
+	}
+}
+
+// validate checks the params and fills defaults in place.
+func (p *SharedBottleneckParams) validate() error {
+	if p.Circuits <= 0 {
+		return fmt.Errorf("experiments: %d circuits", p.Circuits)
+	}
+	if p.TrunkRate <= 0 || p.AccessRate <= 0 {
+		return fmt.Errorf("experiments: rates must be positive")
+	}
+	if p.TransferSize <= 0 {
+		return fmt.Errorf("experiments: transfer size %v", p.TransferSize)
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 300 * sim.Second
+	}
+	return nil
+}
+
+// AblationSharedBottleneck runs M circuits across one shared trunk,
+// CircuitStart vs classic slow start, on identical topology and seed.
+// The returned Result carries the TTLB distributions and the trunk's
+// pooled LinkStats (queue high-water mark, drops) per arm.
+func AblationSharedBottleneck(p SharedBottleneckParams) (*scenario.Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return scenario.Run(p.Scenario())
+}

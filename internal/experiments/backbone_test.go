@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+func TestAblationSharedBottleneck(t *testing.T) {
+	p := DefaultSharedBottleneckParams()
+	if testing.Short() {
+		p.Circuits = 4
+		p.TransferSize = 200 * units.Kilobyte
+	}
+	res, err := AblationSharedBottleneck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 2 {
+		t.Fatalf("%d arms", len(res.Arms))
+	}
+	for _, arm := range res.Arms {
+		if arm.Incomplete != 0 {
+			t.Fatalf("arm %s left %d transfers incomplete", arm.Name, arm.Incomplete)
+		}
+		if arm.TTLB.Len() != p.Circuits {
+			t.Fatalf("arm %s has %d samples, want %d", arm.Name, arm.TTLB.Len(), p.Circuits)
+		}
+		if arm.Net.UnknownDst != 0 || arm.Net.Unroutable != 0 {
+			t.Fatalf("arm %s dropped frames in the fabric: %+v", arm.Name, arm.Net)
+		}
+		// Every circuit's data crossed the shared west>east trunk.
+		var westEast uint64
+		for _, ts := range arm.Trunks() {
+			if ts.Name == "trunk:west>east" {
+				westEast = ts.Stats.Delivered
+			}
+		}
+		if westEast == 0 {
+			t.Fatalf("arm %s: no frames on the shared trunk", arm.Name)
+		}
+		// The trunk actually queued — it was the shared bottleneck.
+		for _, ts := range arm.Trunks() {
+			if ts.Name == "trunk:west>east" && ts.Stats.MaxQueueLen < 2 {
+				t.Errorf("arm %s: trunk max queue %d — not a bottleneck", arm.Name, ts.Stats.MaxQueueLen)
+			}
+		}
+	}
+	// All transfers complete and the medians are in a sane band: the
+	// aggregate can't beat trunk line rate.
+	wire := float64(p.TransferSize.Bytes()*8) * float64(p.Circuits) / (float64(p.TrunkRate.Mbit()) * 1e6)
+	for _, arm := range res.Arms {
+		if arm.TTLB.Quantile(1) < wire/4 {
+			t.Errorf("arm %s max TTLB %.3fs implausibly beats the shared trunk (aggregate floor %.3fs)",
+				arm.Name, arm.TTLB.Quantile(1), wire)
+		}
+	}
+}
+
+func TestAblationSharedBottleneckValidation(t *testing.T) {
+	p := DefaultSharedBottleneckParams()
+	p.Circuits = 0
+	if _, err := AblationSharedBottleneck(p); err == nil {
+		t.Error("zero circuits accepted")
+	}
+	p = DefaultSharedBottleneckParams()
+	p.TrunkRate = 0
+	if _, err := AblationSharedBottleneck(p); err == nil {
+		t.Error("zero trunk rate accepted")
+	}
+	p = DefaultSharedBottleneckParams()
+	p.TransferSize = 0
+	if _, err := AblationSharedBottleneck(p); err == nil {
+		t.Error("zero transfer accepted")
+	}
+}
+
+func TestAblationSharedBottleneckDeterministic(t *testing.T) {
+	p := DefaultSharedBottleneckParams()
+	p.Circuits = 3
+	p.TransferSize = 100 * units.Kilobyte
+	p.Horizon = 120 * sim.Second
+	a, err := AblationSharedBottleneck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AblationSharedBottleneck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Arms {
+		as, bs := a.Arms[i].TTLB.Sorted(), b.Arms[i].TTLB.Sorted()
+		for j := range as {
+			if as[j] != bs[j] {
+				t.Fatalf("arm %d sample %d: %v vs %v", i, j, as[j], bs[j])
+			}
+		}
+	}
+}

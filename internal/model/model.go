@@ -4,8 +4,9 @@
 // baseline, we developed a model to calculate the source's optimal
 // congestion window in a multi-hop scenario."
 //
-// The model is a fluid approximation over a star topology: every node
-// reaches every other through its access links, a hop's no-load feedback
+// The model is a fluid approximation over the topology fabric: every
+// hop traverses its endpoints' access links plus any fabric-internal
+// transit links (backbone trunks) between them, a hop's no-load feedback
 // round-trip is two one-way traversals (DATA forward, FEEDBACK control
 // segment back), and in steady state each hop's feedback arrives at the
 // rate of the slowest link downstream of it (backpressure). The minimal
@@ -28,11 +29,19 @@ import (
 )
 
 // Node is one participant on the circuit's node sequence (source,
-// relays, sink) described by its star access parameters.
+// relays, sink) described by its access parameters.
 type Node struct {
 	// UpRate and DownRate are the node's access link capacities.
 	UpRate, DownRate units.DataRate
 	// Delay is the one-way propagation delay of each access link.
+	Delay time.Duration
+}
+
+// Transit is one fabric-internal link (a backbone trunk) a hop's frames
+// cross between the two nodes' access links: one serialization at Rate
+// plus one propagation Delay per traversal.
+type Transit struct {
+	Rate  units.DataRate
 	Delay time.Duration
 }
 
@@ -42,13 +51,29 @@ func FromAccess(cfg netem.AccessConfig) Node {
 }
 
 // Path is the full node sequence of a circuit: source, each relay in
-// order, sink. It must contain at least two nodes (one hop).
+// order, sink. It must contain at least two nodes (one hop). On a
+// routed fabric each hop may additionally cross transit links, possibly
+// along different physical routes per direction (equal-cost paths).
 type Path struct {
 	nodes []Node
+	// fwd[i] lists the fabric-internal links hop i crosses from node i
+	// toward node i+1; rev[i] the links crossed back from node i+1
+	// toward node i. Both nil on a star.
+	fwd, rev [][]Transit
 }
 
 // NewPath validates the node sequence and builds a Path.
 func NewPath(nodes []Node) Path {
+	return NewPathWithTransits(nodes, nil, nil)
+}
+
+// NewPathWithTransits builds a Path whose hop i crosses forward[i]
+// toward the sink and reverse[i] back toward the source — the analytic
+// mirror of a circuit routed over a GraphFabric, where equal-cost
+// routing may pick different physical paths per direction. Each list
+// may be nil (a star, or a symmetric route mirroring the other list)
+// or must have one entry (possibly nil) per hop.
+func NewPathWithTransits(nodes []Node, forward, reverse [][]Transit) Path {
 	if len(nodes) < 2 {
 		panic(fmt.Sprintf("model: path needs >= 2 nodes, got %d", len(nodes)))
 	}
@@ -62,7 +87,37 @@ func NewPath(nodes []Node) Path {
 	}
 	p := Path{nodes: make([]Node, len(nodes))}
 	copy(p.nodes, nodes)
+	p.fwd = copyTransits(nodes, forward)
+	p.rev = copyTransits(nodes, reverse)
+	if p.rev == nil {
+		p.rev = p.fwd
+	} else if p.fwd == nil {
+		p.fwd = p.rev
+	}
 	return p
+}
+
+// copyTransits validates and deep-copies one direction's transit lists.
+func copyTransits(nodes []Node, transits [][]Transit) [][]Transit {
+	if transits == nil {
+		return nil
+	}
+	if len(transits) != len(nodes)-1 {
+		panic(fmt.Sprintf("model: %d transit hops for %d-node path", len(transits), len(nodes)))
+	}
+	out := make([][]Transit, len(transits))
+	for i, ts := range transits {
+		for _, t := range ts {
+			if t.Rate <= 0 {
+				panic(fmt.Sprintf("model: hop %d transit with non-positive rate", i))
+			}
+			if t.Delay < 0 {
+				panic(fmt.Sprintf("model: hop %d transit with negative delay", i))
+			}
+		}
+		out[i] = append([]Transit(nil), ts...)
+	}
+	return out
 }
 
 // PathFromAccess builds a Path from netem access configurations.
@@ -80,13 +135,34 @@ func (p Path) Hops() int { return len(p.nodes) - 1 }
 // Node returns node i of the sequence (0 = source).
 func (p Path) Node(i int) Node { return p.nodes[i] }
 
-// oneWay is the no-load latency for a frame of the given size from node
-// a to node b through the star: serialize up, propagate, serialize down,
+// hopTransits returns the transit links crossed travelling from
+// adjacent node a to adjacent node b: the hop's forward route when
+// a < b, its reverse route otherwise.
+func (p Path) hopTransits(a, b int) []Transit {
+	if a < b {
+		if p.fwd == nil {
+			return nil
+		}
+		return p.fwd[a]
+	}
+	if p.rev == nil {
+		return nil
+	}
+	return p.rev[b]
+}
+
+// oneWay is the no-load latency for a frame of the given size between
+// adjacent nodes a and b through the fabric: serialize up, propagate,
+// one serialization and propagation per transit link, serialize down,
 // propagate.
 func (p Path) oneWay(a, b int, size units.DataSize) time.Duration {
 	na, nb := p.nodes[a], p.nodes[b]
-	return na.UpRate.TransmissionTime(size) + na.Delay +
+	d := na.UpRate.TransmissionTime(size) + na.Delay +
 		nb.DownRate.TransmissionTime(size) + nb.Delay
+	for _, t := range p.hopTransits(a, b) {
+		d += t.Rate.TransmissionTime(size) + t.Delay
+	}
+	return d
 }
 
 // FeedbackRTT returns the no-load DATA→FEEDBACK round-trip of hop i
@@ -121,14 +197,20 @@ func (p Path) CircuitRTT() time.Duration {
 	return d
 }
 
-// linkRate returns the forwarding rate of the data-path link from node i
-// to node i+1: the minimum of i's uplink and i+1's downlink.
+// linkRate returns the forwarding rate of the data path from node i to
+// node i+1: the minimum of i's uplink, any transit links on the
+// forward route, and i+1's downlink.
 func (p Path) linkRate(i int) units.DataRate {
-	up, down := p.nodes[i].UpRate, p.nodes[i+1].DownRate
-	if up < down {
-		return up
+	rate := p.nodes[i].UpRate
+	if down := p.nodes[i+1].DownRate; down < rate {
+		rate = down
 	}
-	return down
+	for _, t := range p.hopTransits(i, i+1) {
+		if t.Rate < rate {
+			rate = t.Rate
+		}
+	}
+	return rate
 }
 
 // BottleneckRate returns the slowest data-path link rate of the whole

@@ -225,3 +225,89 @@ func TestOptimalWindowMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTransitsBottleneckAndRTT(t *testing.T) {
+	// Four fast nodes; hop 1 (R1 → R2) crosses a slow 8 Mbit/s trunk
+	// with 10 ms delay. The trunk must become the model's bottleneck
+	// and stretch exactly hop 1's RTT.
+	nodes := make([]Node, 4)
+	for i := range nodes {
+		nodes[i] = sym(units.Mbps(100), 5*time.Millisecond)
+	}
+	trunk := Transit{Rate: units.Mbps(8), Delay: 10 * time.Millisecond}
+	p := NewPathWithTransits(nodes, [][]Transit{nil, {trunk}, nil}, nil)
+	flat := NewPath(nodes)
+
+	if got := p.BottleneckRate(); got != units.Mbps(8) {
+		t.Errorf("BottleneckRate = %v, want the 8 Mbit/s trunk", got)
+	}
+	if got := p.BottleneckHop(); got != 1 {
+		t.Errorf("BottleneckHop = %d, want 1", got)
+	}
+	// Hop 1's feedback RTT gains the trunk's serialization + delay in
+	// both directions; hop 0's is untouched.
+	wantExtra := trunk.Rate.TransmissionTime(transport.DataWireSize) +
+		trunk.Rate.TransmissionTime(transport.CtrlWireSize) + 2*trunk.Delay
+	if got := p.FeedbackRTT(1) - flat.FeedbackRTT(1); got != wantExtra {
+		t.Errorf("hop 1 RTT extra = %v, want %v", got, wantExtra)
+	}
+	if p.FeedbackRTT(0) != flat.FeedbackRTT(0) {
+		t.Error("hop 0 RTT changed by a hop-1 transit")
+	}
+	// The optimal source window is trunk-limited, far below the
+	// star-only model's answer.
+	if p.OptimalSourceWindowCells() >= flat.OptimalSourceWindowCells() {
+		t.Errorf("transit model %v ≥ star model %v",
+			p.OptimalSourceWindowCells(), flat.OptimalSourceWindowCells())
+	}
+	if p.CircuitRTT() <= flat.CircuitRTT() {
+		t.Error("CircuitRTT ignores transits")
+	}
+	if lb := p.LowerBoundTTLB(100); lb <= flat.LowerBoundTTLB(100) {
+		t.Error("LowerBoundTTLB ignores transits")
+	}
+}
+
+func TestTransitsValidation(t *testing.T) {
+	nodes := []Node{sym(units.Mbps(10), 0), sym(units.Mbps(10), 0)}
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("transit count mismatch", func() {
+		NewPathWithTransits(nodes, [][]Transit{nil, nil}, nil)
+	})
+	expectPanic("zero transit rate", func() {
+		NewPathWithTransits(nodes, [][]Transit{{{Rate: 0}}}, nil)
+	})
+	expectPanic("negative transit delay", func() {
+		NewPathWithTransits(nodes, nil, [][]Transit{{{Rate: 1, Delay: -time.Second}}})
+	})
+}
+
+func TestDirectionalTransits(t *testing.T) {
+	// The forward leg crosses a slow trunk, the reverse leg a fast one
+	// (equal-cost routes over different physical trunks). The data
+	// path is limited by the forward trunk; the feedback RTT must
+	// serialize the control segment at the reverse trunk's rate.
+	nodes := []Node{sym(units.Mbps(100), time.Millisecond), sym(units.Mbps(100), time.Millisecond)}
+	slow := Transit{Rate: units.Mbps(8), Delay: 2 * time.Millisecond}
+	fast := Transit{Rate: units.Mbps(80), Delay: 2 * time.Millisecond}
+	p := NewPathWithTransits(nodes, [][]Transit{{slow}}, [][]Transit{{fast}})
+
+	if got := p.BottleneckRate(); got != units.Mbps(8) {
+		t.Errorf("BottleneckRate = %v, want the forward trunk's 8 Mbit/s", got)
+	}
+	mirror := NewPathWithTransits(nodes, [][]Transit{{slow}}, nil)
+	wantLess := mirror.FeedbackRTT(0) -
+		slow.Rate.TransmissionTime(transport.CtrlWireSize) +
+		fast.Rate.TransmissionTime(transport.CtrlWireSize)
+	if got := p.FeedbackRTT(0); got != wantLess {
+		t.Errorf("FeedbackRTT = %v, want %v (control leg at the reverse trunk's rate)", got, wantLess)
+	}
+}

@@ -27,7 +27,8 @@ type LinkConfig struct {
 	RNG *sim.RNG
 }
 
-// LinkStats counts what happened on a link. All counters are cumulative.
+// LinkStats counts what happened on a link. All counters are cumulative
+// since construction or the last ResetStats.
 type LinkStats struct {
 	Enqueued    uint64         // frames accepted into the queue
 	Delivered   uint64         // frames handed to the receiver
@@ -36,6 +37,21 @@ type LinkStats struct {
 	BytesOut    units.DataSize // payload bytes delivered
 	QueueDelay  time.Duration  // total time frames spent queued (excl. serialization)
 	MaxQueueLen int            // high-water mark of queued frames
+}
+
+// Merge accumulates another snapshot into s: counters add, the queue
+// high-water mark takes the maximum. Result aggregation uses it to pool
+// the same link's stats across replications.
+func (s *LinkStats) Merge(o LinkStats) {
+	s.Enqueued += o.Enqueued
+	s.Delivered += o.Delivered
+	s.TailDrops += o.TailDrops
+	s.RandomLoss += o.RandomLoss
+	s.BytesOut += o.BytesOut
+	s.QueueDelay += o.QueueDelay
+	if o.MaxQueueLen > s.MaxQueueLen {
+		s.MaxQueueLen = o.MaxQueueLen
+	}
 }
 
 // Link is a unidirectional pipe with a drop-tail FIFO, a serializer that
@@ -118,6 +134,11 @@ func (l *Link) SetRate(r units.DataRate) {
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// ResetStats zeroes the counters (including MaxQueueLen and QueueDelay)
+// without touching frames in flight, so back-to-back trials on a reused
+// fabric do not leak queue high-water marks across trial boundaries.
+func (l *Link) ResetStats() { l.stats = LinkStats{} }
 
 // QueueLen returns the number of frames waiting (not counting the one in
 // serialization), across both priority classes.

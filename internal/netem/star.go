@@ -9,67 +9,11 @@ import (
 	"circuitstart/internal/units"
 )
 
-// AccessConfig describes a node's attachment to the star: an uplink
-// (node → switch) and a downlink (switch → node). The paper's evaluation
-// connects randomly generated Tor relays "in a star topology", so a
-// relay's access capacity is the natural bottleneck location.
-type AccessConfig struct {
-	UpRate   units.DataRate
-	DownRate units.DataRate
-	// Delay is the one-way propagation delay of each access link; the
-	// node-to-node one-way delay through the switch is the sum of the
-	// two nodes' Delays.
-	Delay time.Duration
-	// QueueCap bounds each access link's queue (0 = unbounded).
-	QueueCap units.DataSize
-	// LossProb applies independently on both access links.
-	LossProb float64
-}
-
-// Symmetric returns an AccessConfig with equal up/down rate.
-func Symmetric(rate units.DataRate, delay time.Duration, queueCap units.DataSize) AccessConfig {
-	return AccessConfig{UpRate: rate, DownRate: rate, Delay: delay, QueueCap: queueCap}
-}
-
-// Port is a node's view of the network: it sends frames into its uplink
-// and receives deliveries from its downlink.
-type Port struct {
-	id   NodeID
-	star *Star
-	up   *Link // node → switch
-	down *Link // switch → node
-	cfg  AccessConfig
-}
-
-// ID returns the node ID this port belongs to.
-func (p *Port) ID() NodeID { return p.id }
-
-// Config returns the access configuration.
-func (p *Port) Config() AccessConfig { return p.cfg }
-
-// Uplink exposes the node → switch link (for stats and tests).
-func (p *Port) Uplink() *Link { return p.up }
-
-// Downlink exposes the switch → node link (for stats and tests).
-func (p *Port) Downlink() *Link { return p.down }
-
-// Send transmits payload of the given wire size to dst. It reports
-// whether the uplink accepted the frame.
-func (p *Port) Send(dst NodeID, size units.DataSize, payload any) bool {
-	return p.up.Send(&Frame{Src: p.id, Dst: dst, Size: size, Payload: payload})
-}
-
-// SendPriority transmits a control payload that serializes ahead of
-// queued data frames on every link it crosses (the priority bit travels
-// with the frame through the switch).
-func (p *Port) SendPriority(dst NodeID, size units.DataSize, payload any) bool {
-	return p.up.Send(&Frame{Src: p.id, Dst: dst, Size: size, Payload: payload, Priority: true})
-}
-
-// Star is a hub-and-spoke topology: every node connects to a central
-// switch that forwards frames to the destination's downlink. The switch
-// fabric itself is non-blocking; all contention happens on access links.
-type Star struct {
+// StarFabric is a hub-and-spoke topology: every node connects to a
+// central switch that forwards frames to the destination's downlink.
+// The switch fabric itself is non-blocking; all contention happens on
+// access links. This is the paper's evaluation topology.
+type StarFabric struct {
 	clock *sim.Clock
 	ports map[NodeID]*Port
 
@@ -77,43 +21,43 @@ type Star struct {
 	unknownDst uint64
 }
 
-// NewStar creates an empty star network on the given clock.
-func NewStar(clock *sim.Clock) *Star {
+// Star is the historical name of the hub-and-spoke fabric.
+type Star = StarFabric
+
+var _ Fabric = (*StarFabric)(nil)
+
+// NewStarFabric creates an empty star network on the given clock.
+func NewStarFabric(clock *sim.Clock) *StarFabric {
 	if clock == nil {
-		panic("netem: NewStar with nil clock")
+		panic("netem: NewStarFabric with nil clock")
 	}
-	return &Star{clock: clock, ports: make(map[NodeID]*Port)}
+	return &StarFabric{clock: clock, ports: make(map[NodeID]*Port)}
 }
 
+// NewStar is NewStarFabric under its historical name.
+func NewStar(clock *sim.Clock) *Star { return NewStarFabric(clock) }
+
 // Clock returns the simulation clock the network runs on.
-func (s *Star) Clock() *sim.Clock { return s.clock }
+func (s *StarFabric) Clock() *sim.Clock { return s.clock }
 
 // Attach connects a node to the star. The handler receives every frame
 // addressed to id. Attach panics if id is already attached — silently
 // replacing a node's handler would invalidate running experiments.
-func (s *Star) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RNG) *Port {
+func (s *StarFabric) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RNG) *Port {
 	if _, dup := s.ports[id]; dup {
 		panic(fmt.Sprintf("netem: node %q attached twice", id))
 	}
 	if h == nil {
 		panic(fmt.Sprintf("netem: node %q attached with nil handler", id))
 	}
-	p := &Port{id: id, star: s, cfg: cfg}
-	p.up = NewLink(string(id)+"/up", s.clock, LinkConfig{
-		Rate: cfg.UpRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
-		LossProb: cfg.LossProb, RNG: rng,
-	}, HandlerFunc(s.route))
-	p.down = NewLink(string(id)+"/down", s.clock, LinkConfig{
-		Rate: cfg.DownRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
-		LossProb: cfg.LossProb, RNG: rng,
-	}, h)
+	p := newPort(id, s.clock, cfg, HandlerFunc(s.route), h, rng)
 	s.ports[id] = p
 	return p
 }
 
 // route is the switch fabric: a frame arriving from any uplink is
 // forwarded onto the destination's downlink with zero switching delay.
-func (s *Star) route(f *Frame) {
+func (s *StarFabric) route(f *Frame) {
 	dst, ok := s.ports[f.Dst]
 	if !ok {
 		s.unknownDst++
@@ -123,11 +67,11 @@ func (s *Star) route(f *Frame) {
 }
 
 // Port returns the port of an attached node, or nil.
-func (s *Star) Port(id NodeID) *Port { return s.ports[id] }
+func (s *StarFabric) Port(id NodeID) *Port { return s.ports[id] }
 
 // Nodes returns the attached node IDs in sorted order (deterministic
 // iteration for seeding and reporting).
-func (s *Star) Nodes() []NodeID {
+func (s *StarFabric) Nodes() []NodeID {
 	ids := make([]NodeID, 0, len(s.ports))
 	for id := range s.ports {
 		ids = append(ids, id)
@@ -136,28 +80,36 @@ func (s *Star) Nodes() []NodeID {
 	return ids
 }
 
+// Trunks returns nil: a star has no fabric-internal links.
+func (s *StarFabric) Trunks() []*Link { return nil }
+
 // UnknownDst returns how many frames were addressed to detached nodes.
-func (s *Star) UnknownDst() uint64 { return s.unknownDst }
+func (s *StarFabric) UnknownDst() uint64 { return s.unknownDst }
+
+// Unroutable returns 0: every attached pair is one switch apart.
+func (s *StarFabric) Unroutable() uint64 { return 0 }
+
+// ResetStats zeroes the drop counter and every access link's stats.
+func (s *StarFabric) ResetStats() {
+	s.unknownDst = 0
+	for _, id := range s.Nodes() {
+		p := s.ports[id]
+		p.up.ResetStats()
+		p.down.ResetStats()
+	}
+}
 
 // PathRTT returns the analytic no-queueing round-trip time between two
 // attached nodes for a frame of the given size in each direction: two
 // serializations and two propagation hops each way. The optimal-window
 // model builds on this.
-func (s *Star) PathRTT(a, b NodeID, size units.DataSize) time.Duration {
-	pa, pb := s.ports[a], s.ports[b]
-	if pa == nil || pb == nil {
-		panic(fmt.Sprintf("netem: PathRTT between unattached nodes %q, %q", a, b))
-	}
-	fwd := pa.cfg.UpRate.TransmissionTime(size) + pa.cfg.Delay +
-		pb.cfg.DownRate.TransmissionTime(size) + pb.cfg.Delay
-	rev := pb.cfg.UpRate.TransmissionTime(size) + pb.cfg.Delay +
-		pa.cfg.DownRate.TransmissionTime(size) + pa.cfg.Delay
-	return fwd + rev
+func (s *StarFabric) PathRTT(a, b NodeID, size units.DataSize) time.Duration {
+	return s.PathOneWay(a, b, size) + s.PathOneWay(b, a, size)
 }
 
 // PathOneWay returns the analytic no-queueing one-way latency from a to
 // b for a frame of the given size.
-func (s *Star) PathOneWay(a, b NodeID, size units.DataSize) time.Duration {
+func (s *StarFabric) PathOneWay(a, b NodeID, size units.DataSize) time.Duration {
 	pa, pb := s.ports[a], s.ports[b]
 	if pa == nil || pb == nil {
 		panic(fmt.Sprintf("netem: PathOneWay between unattached nodes %q, %q", a, b))
@@ -166,9 +118,17 @@ func (s *Star) PathOneWay(a, b NodeID, size units.DataSize) time.Duration {
 		pb.cfg.DownRate.TransmissionTime(size) + pb.cfg.Delay
 }
 
+// PathTransits returns nil: on a star the hop is the two access links.
+func (s *StarFabric) PathTransits(a, b NodeID) []*Link {
+	if s.ports[a] == nil || s.ports[b] == nil {
+		panic(fmt.Sprintf("netem: PathTransits between unattached nodes %q, %q", a, b))
+	}
+	return nil
+}
+
 // BottleneckRate returns the minimum forwarding rate along the node
 // sequence path (uplink of each sender, downlink of each receiver).
-func (s *Star) BottleneckRate(path []NodeID) units.DataRate {
+func (s *StarFabric) BottleneckRate(path []NodeID) units.DataRate {
 	if len(path) < 2 {
 		panic("netem: BottleneckRate needs at least two nodes")
 	}

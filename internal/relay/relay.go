@@ -43,7 +43,8 @@ type hop struct {
 	bsend *transport.Sender   // backward data to pred
 }
 
-// Relay is a store-and-forward overlay node. Attach it to a netem.Star,
+// Relay is a store-and-forward overlay node. Attach it to a
+// netem.Fabric (star or routed backbone — the relay is topology-blind),
 // then add one forward hop per circuit passing through it.
 type Relay struct {
 	id    netem.NodeID
@@ -53,14 +54,14 @@ type Relay struct {
 	stats Stats
 }
 
-// New creates a relay and attaches it to the star.
-func New(id netem.NodeID, star *netem.Star, access netem.AccessConfig, rng *sim.RNG) *Relay {
+// New creates a relay and attaches it to the fabric.
+func New(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig, rng *sim.RNG) *Relay {
 	r := &Relay{
 		id:    id,
-		clock: star.Clock(),
+		clock: fab.Clock(),
 		hops:  make(map[cell.CircID]*hop),
 	}
-	r.port = star.Attach(id, access, netem.HandlerFunc(r.deliver), rng)
+	r.port = fab.Attach(id, access, netem.HandlerFunc(r.deliver), rng)
 	return r
 }
 

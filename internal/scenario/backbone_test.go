@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// backboneScenario is testScenario on a routed 3-switch ring instead of
+// the star: generated population, pinned relays, trunk contention.
+func backboneScenario(t *testing.T) Scenario {
+	t.Helper()
+	sc := testScenario()
+	bp := workload.DefaultBackboneParams(12, 3)
+	bp.TrunkRate = units.Mbps(120)
+	spec, err := workload.GenerateBackbone(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Name = "backbone-determinism"
+	sc.Topology.Fabric = &spec
+	return sc
+}
+
+func TestRunnerBackboneWorkerCountDeterminism(t *testing.T) {
+	// The tentpole guarantee extended to GraphFabric: every trial builds
+	// its own fabric from the spec, so Workers: 1 and Workers: 8 are
+	// bit-identical on a routed backbone too.
+	serial, err := Runner{Workers: 1}.Run(backboneScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Workers: 8}.Run(backboneScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, serial, parallel)
+	for i := range serial.Arms {
+		sn, pn := serial.Arms[i].Net, parallel.Arms[i].Net
+		if sn.UnknownDst != pn.UnknownDst || sn.Unroutable != pn.Unroutable {
+			t.Fatalf("arm %d drop counters differ across worker counts", i)
+		}
+		if len(sn.Trunks) != len(pn.Trunks) {
+			t.Fatalf("arm %d trunk counts differ", i)
+		}
+		for j := range sn.Trunks {
+			if sn.Trunks[j] != pn.Trunks[j] {
+				t.Fatalf("arm %d trunk %d: %+v vs %+v", i, j, sn.Trunks[j], pn.Trunks[j])
+			}
+		}
+	}
+}
+
+func TestBackboneResultSurfacesTrunkStats(t *testing.T) {
+	sc := backboneScenario(t)
+	sc.Replications = 1
+	res, err := Runner{Workers: 2}.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range res.Arms {
+		if arm.Net.UnknownDst != 0 || arm.Net.Unroutable != 0 {
+			t.Errorf("arm %s dropped frames: %+v", arm.Name, arm.Net)
+		}
+		if len(arm.Trunks()) != 6 {
+			t.Fatalf("arm %s has %d trunk stats, want 6 (3-ring, both directions)", arm.Name, len(arm.Trunks()))
+		}
+		var delivered uint64
+		for _, ts := range arm.Trunks() {
+			delivered += ts.Stats.Delivered
+		}
+		if delivered == 0 {
+			t.Errorf("arm %s: no frames crossed any trunk", arm.Name)
+		}
+	}
+	var b strings.Builder
+	if err := res.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "trunk:core-00>core-01") {
+		t.Errorf("summary output missing trunk stats:\n%s", b.String())
+	}
+}
+
+func TestStarResultHasNoTrunkSection(t *testing.T) {
+	sc := testScenario()
+	sc.Replications = 1
+	res, err := Runner{Workers: 2}.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range res.Arms {
+		if len(arm.Trunks()) != 0 {
+			t.Errorf("star arm %s has trunk stats", arm.Name)
+		}
+	}
+	var b strings.Builder
+	if err := res.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "trunk") {
+		t.Errorf("star summary mentions trunks:\n%s", b.String())
+	}
+}
+
+// sharedTrunkScenario: one trunk between two switches, every circuit
+// crosses it — the shared-bottleneck shape the star cannot express.
+func sharedTrunkScenario(trunkRate units.DataRate, events []LinkEvent) Scenario {
+	access := netem.Symmetric(units.Mbps(100), 2*time.Millisecond, 0)
+	spec := netem.GraphSpec{
+		Switches: []netem.SwitchID{"east", "west"},
+		Trunks: []netem.TrunkSpec{
+			{A: "west", B: "east", Config: netem.SymmetricTrunk(trunkRate, 5*time.Millisecond, 0)},
+		},
+		Homes: map[netem.NodeID]netem.SwitchID{
+			"g1": "west", "g2": "west", "e1": "east", "e2": "east",
+			"client-000": "west", "client-001": "west",
+			"server-000": "east", "server-001": "east",
+		},
+	}
+	return Scenario{
+		Name: "shared-trunk",
+		Seed: 3,
+		Topology: Topology{
+			Relays: []RelaySpec{
+				{ID: "g1", Access: access}, {ID: "e1", Access: access},
+				{ID: "g2", Access: access}, {ID: "e2", Access: access},
+			},
+			Fabric: &spec,
+		},
+		Circuits: CircuitSet{
+			Count:        2,
+			Paths:        [][]netem.NodeID{{"g1", "e1"}, {"g2", "e2"}},
+			TransferSize: 100 * units.Kilobyte,
+		},
+		Arms:         []Arm{{Name: "default"}},
+		ClientAccess: access,
+		Horizon:      120 * sim.Second,
+		Events:       events,
+	}
+}
+
+func TestTrunkLinkEvent(t *testing.T) {
+	// A trunk capacity step mid-run: the run with the step up must
+	// finish no later than the constant slow-trunk run.
+	slow, err := Runner{Workers: 1}.Run(sharedTrunkScenario(units.Mbps(2), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped, err := Runner{Workers: 1}.Run(sharedTrunkScenario(units.Mbps(2), []LinkEvent{
+		{At: 200 * sim.Millisecond, TrunkA: "west", TrunkB: "east", Rate: units.Mbps(50)},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{slow, stepped} {
+		if res.Arms[0].Incomplete != 0 {
+			t.Fatalf("incomplete transfers: %d", res.Arms[0].Incomplete)
+		}
+	}
+	if s, f := slow.Arms[0].TTLB.Median(), stepped.Arms[0].TTLB.Median(); f >= s {
+		t.Errorf("stepped trunk median %.3fs not faster than constant slow trunk %.3fs", f, s)
+	}
+}
+
+func TestTrunkEventValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"trunk event without fabric", func(s *Scenario) { s.Topology.Fabric = nil }},
+		{"unknown trunk", func(s *Scenario) {
+			s.Events = []LinkEvent{{At: 1, TrunkA: "west", TrunkB: "ghost", Rate: units.Mbps(1)}}
+		}},
+		{"half-named trunk", func(s *Scenario) {
+			s.Events = []LinkEvent{{At: 1, TrunkA: "west", Rate: units.Mbps(1)}}
+		}},
+		{"relay and trunk", func(s *Scenario) {
+			s.Events = []LinkEvent{{At: 1, Relay: "g1", TrunkA: "west", TrunkB: "east", Rate: units.Mbps(1)}}
+		}},
+		{"neither relay nor trunk", func(s *Scenario) {
+			s.Events = []LinkEvent{{At: 1, Rate: units.Mbps(1)}}
+		}},
+		{"zero rate", func(s *Scenario) {
+			s.Events = []LinkEvent{{At: 1, TrunkA: "west", TrunkB: "east"}}
+		}},
+		{"invalid fabric spec", func(s *Scenario) { s.Topology.Fabric = &netem.GraphSpec{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := sharedTrunkScenario(units.Mbps(8), []LinkEvent{
+				{At: 1, TrunkA: "west", TrunkB: "east", Rate: units.Mbps(16)},
+			})
+			tc.mutate(&sc)
+			if _, err := (Runner{Workers: 1}).Run(sc); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+	// Trunk events on a *generated* topology with a fabric are valid.
+	sc := backboneScenario(t)
+	sc.Replications = 1
+	sc.Events = []LinkEvent{{At: sim.Second, TrunkA: "core-00", TrunkB: "core-01", Rate: units.Mbps(40)}}
+	if _, err := (Runner{Workers: 2}).Run(sc); err != nil {
+		t.Fatalf("trunk event on generated backbone rejected: %v", err)
+	}
+}

@@ -6,9 +6,50 @@ import (
 	"time"
 
 	"circuitstart/internal/metrics"
+	"circuitstart/internal/netem"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/traceio"
 )
+
+// TrunkStat is one directed trunk link's pooled counters.
+type TrunkStat struct {
+	// Name is the link's diagnostic name ("trunk:west>east").
+	Name string
+	// Stats pools the link's counters across a trial set.
+	Stats netem.LinkStats
+}
+
+// NetStats aggregates fabric-level accounting for a trial set. The
+// runner pools it per arm across replications, so a routing bug (frames
+// to detached nodes, a disconnected backbone) fails loudly in the
+// summary instead of silently blackholing transfers.
+type NetStats struct {
+	// UnknownDst counts frames addressed to detached nodes.
+	UnknownDst uint64
+	// Unroutable counts frames with no route between home switches.
+	Unroutable uint64
+	// Trunks pools each backbone trunk's LinkStats, in the fabric's
+	// deterministic trunk order (empty on a star).
+	Trunks []TrunkStat
+}
+
+// merge pools another trial's fabric accounting into s.
+func (s *NetStats) merge(o NetStats) {
+	s.UnknownDst += o.UnknownDst
+	s.Unroutable += o.Unroutable
+	if len(s.Trunks) == 0 {
+		s.Trunks = append(s.Trunks, o.Trunks...)
+		return
+	}
+	for i := range o.Trunks {
+		// Same scenario → same fabric spec → same trunk order.
+		if i < len(s.Trunks) && s.Trunks[i].Name == o.Trunks[i].Name {
+			s.Trunks[i].Stats.Merge(o.Trunks[i].Stats)
+		} else {
+			s.Trunks = append(s.Trunks, o.Trunks[i])
+		}
+	}
+}
 
 // CircuitOutcome is one circuit's outcome in one trial.
 type CircuitOutcome struct {
@@ -42,6 +83,9 @@ type ArmResult struct {
 	// Circuits holds every per-circuit outcome in (replication,
 	// circuit) order. Traces, when probed, are found here.
 	Circuits []CircuitOutcome
+	// Net pools the arm's fabric accounting (drop counters, per-trunk
+	// link stats) across replications.
+	Net NetStats
 }
 
 // Result is the aggregated outcome of a Runner.Run.
@@ -83,11 +127,46 @@ func (r *Result) Summaries() []metrics.Summary {
 	return out
 }
 
-// WriteText renders the per-arm summary table.
+// WriteText renders the per-arm summary table, any fabric drop counters
+// (always shown when non-zero — a silent blackhole must not look like a
+// slow network), and the per-trunk link stats when the scenario ran on
+// a routed backbone.
 func (r *Result) WriteText(w io.Writer) error {
 	dists := make([]*metrics.Distribution, len(r.Arms))
 	for i := range r.Arms {
 		dists[i] = r.Arms[i].TTLB
 	}
-	return traceio.WriteSummaryTable(w, dists...)
+	if err := traceio.WriteSummaryTable(w, dists...); err != nil {
+		return err
+	}
+	for i := range r.Arms {
+		arm := &r.Arms[i]
+		if arm.Net.UnknownDst > 0 || arm.Net.Unroutable > 0 {
+			if _, err := fmt.Fprintf(w, "warning: arm %s dropped frames in the fabric: %d to unknown destinations, %d unroutable\n",
+				arm.Name, arm.Net.UnknownDst, arm.Net.Unroutable); err != nil {
+				return err
+			}
+		}
+	}
+	hasTrunks := false
+	for i := range r.Arms {
+		if len(r.Arms[i].Trunks()) > 0 {
+			hasTrunks = true
+		}
+	}
+	if !hasTrunks {
+		return nil
+	}
+	tbl := traceio.NewTable("arm", "trunk", "delivered", "bytes_out", "tail_drops", "random_loss", "max_queue", "queue_delay")
+	for i := range r.Arms {
+		arm := &r.Arms[i]
+		for _, ts := range arm.Trunks() {
+			tbl.AddRowf(arm.Name, ts.Name, ts.Stats.Delivered, ts.Stats.BytesOut.String(),
+				ts.Stats.TailDrops, ts.Stats.RandomLoss, ts.Stats.MaxQueueLen, ts.Stats.QueueDelay.String())
+		}
+	}
+	return tbl.WriteText(w)
 }
+
+// Trunks returns the arm's pooled per-trunk stats (nil on a star).
+func (a *ArmResult) Trunks() []TrunkStat { return a.Net.Trunks }

@@ -32,6 +32,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 	}
 	trials := sc.Replications * len(sc.Arms)
 	outs := make([][]CircuitOutcome, trials)
+	nets := make([]NetStats, trials)
 	errs := make([]error, trials)
 
 	workers := r.Workers
@@ -53,7 +54,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 					return
 				}
 				rep, arm := i/len(sc.Arms), i%len(sc.Arms)
-				outs[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep)
+				outs[i], nets[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep)
 			}
 		}()
 	}
@@ -78,6 +79,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 				arm.Incomplete++
 			}
 		}
+		arm.Net.merge(nets[i])
 	}
 	return res, nil
 }
@@ -100,28 +102,61 @@ func trialSeed(seed int64, rep int) int64 {
 // runTrial executes one (arm, replication) pair on its own network. A
 // panic in the simulator is converted into an error so one bad trial
 // fails the run cleanly instead of killing the worker pool.
-func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, err error) {
+func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, net NetStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("scenario: arm %q rep %d panicked: %v", arm.Name, rep, p)
 		}
 	}()
 	if sc.Topology.Population != nil {
-		out, err = runGenerated(sc, arm, seed, rep)
+		out, net, err = runGenerated(sc, arm, seed, rep)
 	} else {
-		out, err = runExplicit(sc, arm, seed, rep)
+		out, net, err = runExplicit(sc, arm, seed, rep)
 	}
 	if err != nil {
 		err = fmt.Errorf("scenario: arm %q rep %d: %w", arm.Name, rep, err)
 	}
-	return out, err
+	return out, net, err
+}
+
+// netStats snapshots the fabric accounting after a trial has run.
+func netStats(n *core.Network) NetStats {
+	fab := n.Fabric()
+	st := NetStats{UnknownDst: fab.UnknownDst(), Unroutable: fab.Unroutable()}
+	for _, l := range fab.Trunks() {
+		st.Trunks = append(st.Trunks, TrunkStat{Name: l.Name(), Stats: l.Stats()})
+	}
+	return st
+}
+
+// scheduleEvents arms the scenario's link events on a trial network.
+// Relay events step an explicit relay's access links; trunk events step
+// both directions of a backbone trunk.
+func scheduleEvents(n *core.Network, events []LinkEvent) {
+	for _, ev := range events {
+		rate := ev.Rate
+		if ev.trunk() {
+			gf := n.Fabric().(*netem.GraphFabric)
+			ab, ba := gf.Trunk(ev.TrunkA, ev.TrunkB), gf.Trunk(ev.TrunkB, ev.TrunkA)
+			n.Clock().At(ev.At, func() {
+				ab.SetRate(rate)
+				ba.SetRate(rate)
+			})
+			continue
+		}
+		port := n.Relay(ev.Relay).Port()
+		n.Clock().At(ev.At, func() {
+			port.Uplink().SetRate(rate)
+			port.Downlink().SetRate(rate)
+		})
+	}
 }
 
 // runGenerated executes one trial over a generated relay population via
 // the workload package. Together/uniform arrivals go through
 // workload.Scenario.Run — the exact execution path of the pre-scenario
 // experiments, preserving their seeded outputs bit for bit.
-func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, error) {
+func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
 	var spread time.Duration
 	if sc.Circuits.Arrival.Kind == ArriveUniform {
 		spread = sc.Circuits.Arrival.Spread
@@ -136,36 +171,39 @@ func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, 
 		StartSpread:    spread,
 		Download:       sc.Circuits.Download,
 		TraceCwnd:      sc.Probes.TraceCwnd,
+		Fabric:         sc.Topology.Fabric,
 	})
 	if err != nil {
-		return nil, err
+		return nil, NetStats{}, err
 	}
+	scheduleEvents(wsc.Network, sc.Events)
 	if sc.Circuits.Arrival.Kind == ArrivePoisson {
 		runTransfers(wsc.Network, wsc.Circuits, sc.Circuits, seed, sc.Horizon, false)
 	} else {
 		wsc.Run(sc.Horizon)
 	}
-	return collect(wsc.Circuits, rep, sc.Probes.TraceCwnd), nil
+	return collect(wsc.Circuits, rep, sc.Probes.TraceCwnd), netStats(wsc.Network), nil
 }
 
 // runExplicit executes one trial over an explicit topology: attach the
 // listed relays in order, schedule link events, build each circuit
 // along its declared path, and run the transfers.
-func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, error) {
-	n := core.NewNetwork(seed)
+func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
+	var n *core.Network
+	if spec := sc.Topology.Fabric; spec != nil {
+		fs := *spec
+		n = core.NewNetworkWithFabric(seed, func(clock *sim.Clock, rng *sim.RNG) netem.Fabric {
+			return fs.Build(clock, rng)
+		})
+	} else {
+		n = core.NewNetwork(seed)
+	}
 	for _, r := range sc.Topology.Relays {
 		if _, err := n.AddRelay(r.ID, r.Access); err != nil {
-			return nil, err
+			return nil, NetStats{}, err
 		}
 	}
-	for _, ev := range sc.Events {
-		port := n.Relay(ev.Relay).Port()
-		rate := ev.Rate
-		n.Clock().At(ev.At, func() {
-			port.Uplink().SetRate(rate)
-			port.Downlink().SetRate(rate)
-		})
-	}
+	scheduleEvents(n, sc.Events)
 	access := sc.ClientAccess
 	if access.UpRate == 0 {
 		access = netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0)
@@ -187,12 +225,12 @@ func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, e
 			TraceCwnd:    sc.Probes.TraceCwnd,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("circuit %d: %w", i, err)
+			return nil, NetStats{}, fmt.Errorf("circuit %d: %w", i, err)
 		}
 		circuits[i] = c
 	}
 	runTransfers(n, circuits, sc.Circuits, seed, sc.Horizon, sc.RunFullHorizon)
-	return collect(circuits, rep, sc.Probes.TraceCwnd), nil
+	return collect(circuits, rep, sc.Probes.TraceCwnd), netStats(n), nil
 }
 
 // runTransfers starts every circuit's transfer per the arrival process

@@ -32,16 +32,24 @@ type RelaySpec struct {
 	Access netem.AccessConfig
 }
 
-// Topology describes a Scenario's relay population. Exactly one of
-// Relays (an explicit, fixed topology — the single-circuit figure
-// setups) or Population (a generated Tor-like population — the
-// aggregate experiments) must be set.
+// Topology describes a Scenario's relay population and the fabric it
+// attaches to. Exactly one of Relays (an explicit, fixed topology — the
+// single-circuit figure setups) or Population (a generated Tor-like
+// population — the aggregate experiments) must be set; Fabric
+// optionally composes with either.
 type Topology struct {
 	// Relays lists explicit relays, attached in order.
 	Relays []RelaySpec
 	// Population generates a seeded synthetic relay population with a
 	// bandwidth-weighted consensus for path sampling.
 	Population *workload.RelayParams
+	// Fabric, when set, replaces the default star with a routed
+	// backbone built from this spec (switches, trunk links, node
+	// homes — see workload.GenerateBackbone). Every trial builds its
+	// own fabric from the spec, preserving the worker-count
+	// determinism guarantee. Nodes the spec does not pin home to a
+	// deterministic hash of their ID.
+	Fabric *netem.GraphSpec
 }
 
 // ArrivalKind selects a circuit arrival process.
@@ -106,13 +114,22 @@ type Probes struct {
 	TraceCwnd bool
 }
 
-// LinkEvent is a scheduled mid-run capacity change on an explicit
-// relay's access link — the dynamic-network extension experiments.
+// LinkEvent is a scheduled mid-run capacity change — the
+// dynamic-network extension experiments. It targets either an explicit
+// relay's access links (Relay, explicit topologies only) or both
+// directions of a backbone trunk (TrunkA/TrunkB, any topology with a
+// Fabric), so capacity steps can hit shared bottlenecks mid-run.
 type LinkEvent struct {
-	At    sim.Time
+	At sim.Time
+	// Relay names an explicit relay whose access links step to Rate.
 	Relay netem.NodeID
-	Rate  units.DataRate
+	// TrunkA, TrunkB name a Fabric trunk instead; both directions step.
+	TrunkA, TrunkB netem.SwitchID
+	Rate           units.DataRate
 }
+
+// trunk reports whether the event targets a backbone trunk.
+func (ev LinkEvent) trunk() bool { return ev.TrunkA != "" || ev.TrunkB != "" }
 
 // Scenario declaratively describes one experiment. It is plain data:
 // build it literally, or start from an adapter in package experiments
@@ -182,6 +199,30 @@ func (sc *Scenario) validate() error {
 	if sc.Circuits.TransferSize <= 0 {
 		return fmt.Errorf("scenario: transfer size %v", sc.Circuits.TransferSize)
 	}
+	if sc.Topology.Fabric != nil {
+		if err := sc.Topology.Fabric.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for i, ev := range sc.Events {
+		if ev.Rate <= 0 {
+			return fmt.Errorf("scenario: event %d rate %v", i, ev.Rate)
+		}
+		if (ev.Relay != "") == ev.trunk() {
+			return fmt.Errorf("scenario: event %d needs exactly one of Relay or TrunkA/TrunkB", i)
+		}
+		if ev.trunk() {
+			if ev.TrunkA == "" || ev.TrunkB == "" {
+				return fmt.Errorf("scenario: event %d names only one trunk endpoint", i)
+			}
+			if sc.Topology.Fabric == nil {
+				return fmt.Errorf("scenario: event %d targets trunk %q-%q but the topology has no fabric", i, ev.TrunkA, ev.TrunkB)
+			}
+			if !sc.Topology.Fabric.HasTrunk(ev.TrunkA, ev.TrunkB) {
+				return fmt.Errorf("scenario: event %d names unknown trunk %q-%q", i, ev.TrunkA, ev.TrunkB)
+			}
+		}
+	}
 	switch sc.Circuits.Arrival.Kind {
 	case ArriveTogether:
 	case ArriveUniform:
@@ -223,11 +264,8 @@ func (sc *Scenario) validate() error {
 			}
 		}
 		for _, ev := range sc.Events {
-			if !ids[ev.Relay] {
+			if ev.Relay != "" && !ids[ev.Relay] {
 				return fmt.Errorf("scenario: event names unknown relay %q", ev.Relay)
-			}
-			if ev.Rate <= 0 {
-				return fmt.Errorf("scenario: event rate %v", ev.Rate)
 			}
 		}
 	} else {
@@ -240,8 +278,10 @@ func (sc *Scenario) validate() error {
 		if sc.Circuits.Hops == 0 {
 			sc.Circuits.Hops = 3
 		}
-		if len(sc.Events) != 0 {
-			return fmt.Errorf("scenario: link events need an explicit topology")
+		for _, ev := range sc.Events {
+			if ev.Relay != "" {
+				return fmt.Errorf("scenario: relay link events need an explicit topology")
+			}
 		}
 		if sc.RunFullHorizon {
 			return fmt.Errorf("scenario: RunFullHorizon needs an explicit topology")

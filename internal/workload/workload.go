@@ -147,6 +147,10 @@ type ScenarioParams struct {
 	// ClientAccess configures source/sink attachment. Zero selects a
 	// fast 100 Mbit/s, 5 ms access.
 	ClientAccess netem.AccessConfig
+	// Fabric, when set, replaces the default star with a routed
+	// backbone built from this spec (see GenerateBackbone); relays and
+	// endpoints home to its switches and contend on its trunks.
+	Fabric *netem.GraphSpec
 	// StartSpread staggers circuit start times uniformly in [0,
 	// StartSpread) so the experiment does not begin with a synchronized
 	// burst (0 = all start at t = 0).
@@ -206,7 +210,10 @@ func Build(seed int64, p ScenarioParams) (*Scenario, error) {
 		return nil, err
 	}
 	descs := make([]directory.Descriptor, len(relays))
-	n := core.NewNetwork(seed)
+	n, err := newNetwork(seed, p.Fabric)
+	if err != nil {
+		return nil, err
+	}
 	for i, r := range relays {
 		descs[i] = r.Desc
 		if _, err := n.AddRelay(r.Desc.ID, r.Access); err != nil {
@@ -244,6 +251,22 @@ func Build(seed int64, p ScenarioParams) (*Scenario, error) {
 		sc.Circuits = append(sc.Circuits, c)
 	}
 	return sc, nil
+}
+
+// newNetwork builds a trial network on the star (fabric == nil) or on a
+// fresh fabric from the spec. The spec is validated here so a malformed
+// backbone surfaces as an error, not a panic inside a worker.
+func newNetwork(seed int64, fabric *netem.GraphSpec) (*core.Network, error) {
+	if fabric == nil {
+		return core.NewNetwork(seed), nil
+	}
+	if err := fabric.Validate(); err != nil {
+		return nil, err
+	}
+	spec := *fabric
+	return core.NewNetworkWithFabric(seed, func(clock *sim.Clock, rng *sim.RNG) netem.Fabric {
+		return spec.Build(clock, rng)
+	}), nil
 }
 
 // Result is one circuit's outcome.
