@@ -10,12 +10,11 @@ package circuitstart_test
 
 import (
 	"runtime"
+	"strconv"
 	"testing"
 
 	"circuitstart"
 	"circuitstart/internal/experiments"
-	"circuitstart/internal/units"
-	"circuitstart/internal/workload"
 )
 
 // skipIfShort skips a paper-scale benchmark under -short: every
@@ -33,6 +32,7 @@ func skipIfShort(b *testing.B) {
 // window relative to the model optimum and the convergence time.
 func BenchmarkFig1CwndTraceNear(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	benchCwndTrace(b, 1)
 }
 
@@ -40,6 +40,7 @@ func BenchmarkFig1CwndTraceNear(b *testing.B) {
 // bottleneck three hops away.
 func BenchmarkFig1CwndTraceFar(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	benchCwndTrace(b, 3)
 }
 
@@ -65,6 +66,7 @@ func benchCwndTrace(b *testing.B, distance int) {
 // Metrics: both medians and the median gap in milliseconds.
 func BenchmarkFig1DownloadCDF(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var res circuitstart.CDFResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -102,6 +104,7 @@ func maxHorizontalGap(res circuitstart.CDFResult) float64 {
 // (the paper fixes γ = 4). Metric: exit-window error at γ = 4.
 func BenchmarkAblationGamma(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -122,6 +125,7 @@ func BenchmarkAblationGamma(b *testing.B) {
 // classic slow start. Metric: each arm's exit/optimal ratio.
 func BenchmarkAblationCompensation(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -140,6 +144,7 @@ func BenchmarkAblationCompensation(b *testing.B) {
 // ACK clocking. Metric: peak window (aggressiveness) per arm.
 func BenchmarkAblationFeedbackClock(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -159,6 +164,7 @@ func BenchmarkAblationFeedbackClock(b *testing.B) {
 // claim).
 func BenchmarkAblationBottleneckPosition(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -180,6 +186,7 @@ var names3 = []string{"hop1", "hop2", "hop3"}
 // Metric: median gain per level.
 func BenchmarkAblationConcurrency(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var rows []experiments.ConcurrencyRow
 	var err error
 	levels := []int{10, 25, 50}
@@ -191,7 +198,7 @@ func BenchmarkAblationConcurrency(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.ReportMetric((r.MedianWithout-r.MedianWith)*1000,
-			"gain_ms_k"+itoa(r.Circuits))
+			"gain_ms_k"+strconv.Itoa(r.Circuits))
 	}
 }
 
@@ -200,6 +207,7 @@ func BenchmarkAblationConcurrency(b *testing.B) {
 // re-probe extension.
 func BenchmarkExtensionDynamicRestart(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	base := circuitstart.DynamicRestartParams{
 		Seed:       42,
 		BeforeRate: circuitstart.Mbps(8),
@@ -230,47 +238,12 @@ func BenchmarkExtensionDynamicRestart(b *testing.B) {
 	}
 }
 
-// BenchmarkSingleTransfer measures raw simulator throughput: one 1 MB
-// transfer over a 3-hop circuit per iteration (an engineering metric,
-// not a paper figure).
-func BenchmarkSingleTransfer(b *testing.B) {
-	skipIfShort(b)
-	for i := 0; i < b.N; i++ {
-		sc, err := workload.Build(int64(i), workload.ScenarioParams{
-			Relays:         workload.DefaultRelayParams(8),
-			Circuits:       1,
-			HopsPerCircuit: 3,
-			TransferSize:   1 * units.Megabyte,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		res := sc.Run(600 * circuitstart.Second)
-		if !res[0].Done {
-			b.Fatal("incomplete")
-		}
-	}
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
-}
-
 // BenchmarkAblationExtensions quantifies the default-on dynamic
 // adaptation extensions (DESIGN.md deviations): settle time per arm on
 // the distant-bottleneck trace.
 func BenchmarkAblationExtensions(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -292,6 +265,7 @@ func BenchmarkAblationExtensions(b *testing.B) {
 // BackTap's (2, 4). Metric: final window / optimal per pair.
 func BenchmarkAblationVegas(b *testing.B) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -321,6 +295,7 @@ func BenchmarkScenarioCDFWorkersNumCPU(b *testing.B) {
 
 func benchScenarioWorkers(b *testing.B, workers int) {
 	skipIfShort(b)
+	b.ReportAllocs()
 	sc := circuitstart.DefaultCDFParams().ToScenario()
 	var res *circuitstart.ScenarioResult
 	var err error

@@ -9,6 +9,7 @@
 //	circuitsim dynamic    [-before MBPS] [-after MBPS] [-restart R] [-seed S]
 //	circuitsim scenario   [-arms P1,P2,…] [-circuits K] [-relays N] [-workers W]
 //	                      [-reps R] [-poisson RATE] [-download] [-csv out.csv]
+//	circuitsim bench      [-json] [-out FILE]
 //
 // Each subcommand prints a human-readable table to stdout; -csv
 // additionally writes the raw series/CDF in gnuplot-ready CSV. The
@@ -51,6 +52,8 @@ func main() {
 		err = runDynamic(os.Args[2:])
 	case "scenario":
 		err = runScenario(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -74,6 +77,7 @@ Commands:
               concurrency, extensions, vegas, shared (circuits over one trunk)
   dynamic     capacity-step extension (future-work experiment)
   scenario    declarative multi-arm sweep on the parallel runner
+  bench       headline microbenchmarks; -json snapshots BENCH_<n>.json
 
 Run 'circuitsim <command> -h' for flags.
 `)

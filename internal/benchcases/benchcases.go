@@ -1,0 +1,198 @@
+// Package benchcases holds the bodies of the headline per-layer
+// microbenchmarks — clock scheduling, timer rearm, link and star
+// transit, onion wrap/unwrap, and the full single-transfer profile.
+//
+// The bodies live in a normal (non-test) package for one reason: they
+// are shared verbatim between the benchmark wrappers in this package's
+// test file (which CI gates on allocs/op) and the `circuitsim bench
+// -json` subcommand (which snapshots BENCH_<n>.json). A committed
+// snapshot therefore measures exactly the code the CI gate guards —
+// the two cannot drift apart.
+package benchcases
+
+import (
+	"testing"
+	"time"
+
+	"circuitstart/internal/cell"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/onion"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// ClockSchedule measures the allocation-free scheduling fast path:
+// schedule one event (callback hoisted out of the loop) and drain it.
+// CI fails if this reports nonzero allocs/op — the event free list
+// must absorb every fired event.
+func ClockSchedule(b *testing.B) {
+	c := sim.NewClock()
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.After(time.Microsecond, fn)
+		c.Run()
+	}
+	if n != b.N {
+		b.Fatalf("executed %d of %d", n, b.N)
+	}
+}
+
+// TimerRearm measures the rearm pattern the transport RTO uses on
+// every acknowledgment. Rescheduling happens in place, so CI fails if
+// this allocates.
+func TimerRearm(b *testing.B) {
+	c := sim.NewClock()
+	tm := sim.NewTimer(c, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Arm(time.Millisecond)
+	}
+	tm.Stop()
+	c.Run()
+}
+
+// LinkTransit measures one full frame transit — enqueue, serialize,
+// propagate, deliver, recycle — through a pooled link. CI fails if this
+// reports nonzero allocs/op: the ring buffers, the pre-bound stage
+// callbacks, the clock's event free list and the frame pool must
+// together make steady-state transit allocation-free.
+func LinkTransit(b *testing.B) {
+	clock := sim.NewClock()
+	delivered := 0
+	link := netem.NewLink("bench", clock, netem.LinkConfig{
+		Rate: units.Mbps(100), Delay: time.Millisecond,
+	}, netem.HandlerFunc(func(f *netem.Frame) { delivered++ }))
+	pool := netem.NewFramePool()
+	link.UsePool(pool, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := pool.Get()
+		f.Src, f.Dst, f.Size, f.Priority = "a", "b", 512, false
+		link.Send(f)
+		clock.Run()
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// StarTransit measures a node-to-node frame crossing the star fabric:
+// uplink, switch, downlink. Two link transits plus routing.
+func StarTransit(b *testing.B) {
+	clock := sim.NewClock()
+	star := netem.NewStarFabric(clock)
+	delivered := 0
+	pa := star.Attach("a", netem.Symmetric(units.Mbps(100), time.Millisecond, 0), netem.HandlerFunc(func(f *netem.Frame) {}), nil)
+	star.Attach("b", netem.Symmetric(units.Mbps(100), time.Millisecond, 0), netem.HandlerFunc(func(f *netem.Frame) { delivered++ }), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa.Send("b", 512, nil)
+		clock.Run()
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// benchRand is a deterministic byte stream for key generation.
+type benchRand struct{ ctr byte }
+
+func (r *benchRand) Read(p []byte) (int, error) {
+	for i := range p {
+		r.ctr += 31
+		p[i] = r.ctr ^ byte(i)
+	}
+	return len(p), nil
+}
+
+// benchCircuit establishes a hops-long circuit's key material.
+func benchCircuit(b *testing.B, hops int) (*onion.CircuitCrypto, []*onion.HopKeys) {
+	b.Helper()
+	rnd := &benchRand{}
+	idents := make([]*onion.Identity, hops)
+	for i := range idents {
+		id, err := onion.NewIdentity(rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idents[i] = id
+	}
+	cc, rk, err := onion.BuildCircuit(rnd, idents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cc, rk
+}
+
+// OnionWrap measures the client-side cost of sealing and
+// triple-encrypting one 512 B cell.
+func OnionWrap(b *testing.B) {
+	cc, _ := benchCircuit(b, 3)
+	c := &cell.Cell{}
+	if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, make([]byte, cell.MaxRelayData)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(cell.Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.WrapForward(c)
+	}
+}
+
+// OnionUnwrap measures the client-side cost of peeling a 3-hop backward
+// cell: per hop one stream decryption and a header parse, plus the
+// digest verification at the recognizing hop. The snapshot/rollback
+// machinery must keep this allocation-free.
+func OnionUnwrap(b *testing.B) {
+	cc, relayKeys := benchCircuit(b, 3)
+	exit := relayKeys[len(relayKeys)-1]
+	c := &cell.Cell{}
+	data := make([]byte, cell.MaxRelayData)
+	b.SetBytes(cell.Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The exit seals and every hop adds its backward layer; the
+		// client unwraps. Both running digests advance once per cell, so
+		// the pair stays in lockstep across iterations.
+		if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, data); err != nil {
+			b.Fatal(err)
+		}
+		exit.SealBackward(c)
+		for h := len(relayKeys) - 1; h >= 0; h-- {
+			relayKeys[h].EncryptBackward(c)
+		}
+		if _, err := cc.UnwrapBackward(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SingleTransfer measures raw simulator throughput and its allocation
+// profile: one 1 MB transfer over a 3-hop circuit per iteration (an
+// engineering metric, not a paper figure).
+func SingleTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := workload.Build(int64(i), workload.ScenarioParams{
+			Relays:         workload.DefaultRelayParams(8),
+			Circuits:       1,
+			HopsPerCircuit: 3,
+			TransferSize:   1 * units.Megabyte,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sc.Run(600 * sim.Second)
+		if !res[0].Done {
+			b.Fatal("incomplete")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package cell
+
+// Pool recycles Cell objects between the two ends of a simulated
+// circuit: the consuming endpoint returns each in-order-delivered cell,
+// and the producing endpoint draws packetization cells from the pool
+// instead of the heap. A simulation is single-threaded on its clock, so
+// the pool is a plain free list with deterministic reuse order.
+//
+// Reuse is safe even though hop senders retain delivered cells until
+// acknowledgment: retransmissions of an already-delivered sequence are
+// discarded by the receiver's sequence check without reading the cell,
+// so a recycled cell's new content can never be observed on an old
+// sequence number.
+//
+// A nil *Pool is valid and degrades to plain allocation.
+type Pool struct {
+	free []*Cell
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a cell for the caller to fill. The caller must set Circ
+// and the full payload (SetRelay overwrites it end to end); recycled
+// cells are not zeroed.
+func (p *Pool) Get() *Cell {
+	if p == nil {
+		return &Cell{}
+	}
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return c
+	}
+	return &Cell{}
+}
+
+// Put recycles a cell whose content has been consumed.
+func (p *Pool) Put(c *Cell) {
+	if p == nil || c == nil {
+		return
+	}
+	p.free = append(p.free, c)
+}

@@ -238,12 +238,14 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 	}
 	c.source = endpoint.NewSource(spec.Source, n.fabric, spec.SourceAccess,
 		spec.ID, clientCrypto, spec.Relays[0], srcCfg, n.lossRNG)
+	c.source.UseCellPool(n.cellPool)
 	sinkCfg := tmpl
 	if sinkCfg.Startup, err = spec.Transport.policy(); err != nil {
 		return nil, err
 	}
 	c.sink = endpoint.NewSink(spec.Sink, n.fabric, spec.SinkAccess,
 		spec.ID, spec.Relays[len(spec.Relays)-1], sinkCfg, n.lossRNG)
+	c.sink.UseCellPool(n.cellPool)
 
 	// Analytic model of the same path, including any backbone trunks
 	// each hop crosses on a routed fabric.

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"circuitstart/internal/cell"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/onion"
 	"circuitstart/internal/relay"
@@ -31,6 +32,11 @@ type Network struct {
 	identities map[netem.NodeID]*onion.Identity
 	lossRNG    *sim.RNG
 	keyRNG     *sim.RNG
+
+	// cellPool recycles cells between the consuming and producing
+	// endpoints of every circuit on this network (single-threaded on the
+	// shared clock, so one pool serves them all).
+	cellPool *cell.Pool
 
 	nextAutoCirc uint32
 }
@@ -71,6 +77,7 @@ func NewNetworkWithFabric(seed int64, build FabricBuilder) *Network {
 		identities: make(map[netem.NodeID]*onion.Identity),
 		lossRNG:    lossRNG,
 		keyRNG:     sim.NewRNG(seed, "onion-keys"),
+		cellPool:   cell.NewPool(),
 	}
 }
 

@@ -31,6 +31,7 @@ type Source struct {
 
 	queuedBytes units.DataSize
 	sentCells   uint64
+	cells       *cell.Pool // optional recycling with the far endpoint
 
 	// Download (backward) direction: the client receives layered cells
 	// from the first relay and unwraps every hop's encryption.
@@ -71,6 +72,12 @@ func NewSource(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig,
 	return s
 }
 
+// UseCellPool wires cell recycling: Send draws packetization cells from
+// pool, and every consumed download cell is returned to it. Wire the
+// same pool into both endpoints of a circuit (core does) so the cells of
+// one direction feed the packetizer of the other.
+func (s *Source) UseCellPool(pool *cell.Pool) { s.cells = pool }
+
 // ExpectDownload arms the download completion callback: once size
 // application bytes have arrived over the backward direction,
 // onComplete fires with the arrival time of the last byte.
@@ -99,6 +106,7 @@ func (s *Source) consumeDownload(c *cell.Cell) {
 		s.downBad++
 	}
 	s.drecv.NotifyForwarded(s.drecv.Expected())
+	s.cells.Put(c)
 	if !s.downDone && s.downExpected > 0 && s.downloaded >= s.downExpected && s.onDownload != nil {
 		s.downDone = true
 		s.onDownload(s.clock.Now())
@@ -132,7 +140,8 @@ func (s *Source) Send(size units.DataSize) int {
 			n = remaining
 		}
 		remaining -= n
-		c := &cell.Cell{Circ: s.circ}
+		c := s.cells.Get()
+		c.Circ = s.circ
 		if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, buf[:n]); err != nil {
 			panic(err) // n <= MaxRelayData by construction
 		}
@@ -202,6 +211,8 @@ type Sink struct {
 	// is the destination server, outside the onion, so it sends
 	// plaintext relay cells; the exit relay seals and encrypts them.
 	bsender *transport.Sender
+
+	cellPool *cell.Pool // optional recycling with the far endpoint
 }
 
 // NewSink attaches a sink node to the fabric, receiving from exit.
@@ -234,6 +245,10 @@ func NewSink(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig,
 // download-direction window traces).
 func (k *Sink) BackwardSender() *transport.Sender { return k.bsender }
 
+// UseCellPool wires cell recycling: consumed upload cells are returned
+// to pool and SendBackward draws its packetization cells from it.
+func (k *Sink) UseCellPool(pool *cell.Pool) { k.cellPool = pool }
+
 // SendBackward packetizes size bytes of server data into plaintext
 // relay DATA cells and submits them toward the client over the backward
 // direction. It returns the number of cells enqueued.
@@ -250,7 +265,8 @@ func (k *Sink) SendBackward(size units.DataSize) int {
 			n = remaining
 		}
 		remaining -= n
-		c := &cell.Cell{Circ: k.circ}
+		c := k.cellPool.Get()
+		c.Circ = k.circ
 		if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, buf[:n]); err != nil {
 			panic(err) // n <= MaxRelayData by construction
 		}
@@ -305,6 +321,7 @@ func (k *Sink) consume(c *cell.Cell) {
 		k.received += units.DataSize(len(data))
 	}
 	k.recv.NotifyForwarded(k.recv.Expected())
+	k.cellPool.Put(c)
 	if !k.completed && k.expected > 0 && k.received >= k.expected && k.onComplete != nil {
 		k.completed = true
 		k.onComplete(k.clock.Now())

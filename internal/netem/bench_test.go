@@ -1,0 +1,36 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"circuitstart/internal/sim"
+	"circuitstart/internal/units"
+)
+
+// BenchmarkLinkQueued measures a burst of 64 frames pushed through the
+// queue per iteration — exercises ring wraparound and the busy
+// serializer path rather than the idle-link fast path.
+func BenchmarkLinkQueued(b *testing.B) {
+	clock := sim.NewClock()
+	delivered := 0
+	link := NewLink("bench", clock, LinkConfig{
+		Rate: units.Mbps(100), Delay: time.Millisecond,
+	}, HandlerFunc(func(f *Frame) { delivered++ }))
+	pool := NewFramePool()
+	link.UsePool(pool, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			f := pool.Get()
+			f.Src, f.Dst, f.Size = "a", "b", 512
+			f.Priority = j%8 == 0
+			link.Send(f)
+		}
+		clock.Run()
+	}
+	if delivered != 64*b.N {
+		b.Fatalf("delivered %d of %d", delivered, 64*b.N)
+	}
+}

@@ -84,6 +84,7 @@ type Port struct {
 	up   *Link // node → fabric
 	down *Link // fabric → node
 	cfg  AccessConfig
+	pool *FramePool // the owning fabric's frame pool (may be nil)
 }
 
 // ID returns the node ID this port belongs to.
@@ -99,29 +100,45 @@ func (p *Port) Uplink() *Link { return p.up }
 func (p *Port) Downlink() *Link { return p.down }
 
 // Send transmits payload of the given wire size to dst. It reports
-// whether the uplink accepted the frame.
+// whether the uplink accepted the frame. The frame is drawn from the
+// fabric's pool and recycled by the network when it dies (drop, loss,
+// or delivery) — see Frame ownership.
 func (p *Port) Send(dst NodeID, size units.DataSize, payload any) bool {
-	return p.up.Send(&Frame{Src: p.id, Dst: dst, Size: size, Payload: payload})
+	return p.up.Send(p.newFrame(dst, size, payload, false))
 }
 
 // SendPriority transmits a control payload that serializes ahead of
 // queued data frames on every link it crosses (the priority bit travels
 // with the frame through the fabric).
 func (p *Port) SendPriority(dst NodeID, size units.DataSize, payload any) bool {
-	return p.up.Send(&Frame{Src: p.id, Dst: dst, Size: size, Payload: payload, Priority: true})
+	return p.up.Send(p.newFrame(dst, size, payload, true))
+}
+
+func (p *Port) newFrame(dst NodeID, size units.DataSize, payload any, priority bool) *Frame {
+	f := p.pool.Get()
+	f.Src = p.id
+	f.Dst = dst
+	f.Size = size
+	f.Payload = payload
+	f.Priority = priority
+	return f
 }
 
 // newPort wires a node's access links. ingress is the fabric's routing
-// stage fed by the uplink; h consumes downlink deliveries.
-func newPort(id NodeID, clock *sim.Clock, cfg AccessConfig, ingress, h Handler, rng *sim.RNG) *Port {
-	p := &Port{id: id, cfg: cfg}
+// stage fed by the uplink; h consumes downlink deliveries. pool is the
+// fabric's frame pool: the downlink is the terminal hop of every frame
+// it carries, so it recycles frames after the handler returns.
+func newPort(id NodeID, clock *sim.Clock, cfg AccessConfig, ingress, h Handler, rng *sim.RNG, pool *FramePool) *Port {
+	p := &Port{id: id, cfg: cfg, pool: pool}
 	p.up = NewLink(string(id)+"/up", clock, LinkConfig{
 		Rate: cfg.UpRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
 		LossProb: cfg.LossProb, RNG: rng,
 	}, ingress)
+	p.up.UsePool(pool, false)
 	p.down = NewLink(string(id)+"/down", clock, LinkConfig{
 		Rate: cfg.DownRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
 		LossProb: cfg.LossProb, RNG: rng,
 	}, h)
+	p.down.UsePool(pool, true)
 	return p
 }

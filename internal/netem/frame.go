@@ -22,6 +22,13 @@ type NodeID string
 // Frame is one unit of data in flight on a link. Size is the wire size
 // used for serialization-time and queue-occupancy accounting; Payload is
 // opaque to the network layer (the overlay puts cells here).
+//
+// Ownership: frames sent through a Fabric belong to the network layer.
+// The fabric draws them from its FramePool at Port.Send and recycles
+// them as soon as they die — on tail drop, on random loss, or when the
+// destination handler's Deliver returns. A Handler must therefore not
+// retain a *Frame (or resend it) past the Deliver call; it may retain
+// the Payload, which is cleared from the frame on recycle.
 type Frame struct {
 	Src, Dst NodeID
 	Size     units.DataSize
@@ -36,9 +43,52 @@ type Frame struct {
 	enqueuedAt sim.Time // set by Link for queue-delay accounting
 }
 
+// FramePool recycles Frame objects so the per-frame hot path of a fabric
+// allocates nothing in steady state. It is a plain free list: each
+// simulation is single-threaded on its own clock, so no locking is
+// needed, and reuse order is deterministic.
+//
+// A nil *FramePool is valid and degrades to plain allocation (Get) and
+// dropping on the floor (Put) — standalone Links built by tests keep the
+// old semantics without wiring a pool.
+type FramePool struct {
+	free []*Frame
+}
+
+// NewFramePool returns an empty pool.
+func NewFramePool() *FramePool { return &FramePool{} }
+
+// Get returns a frame for the caller to fill. Every exported field must
+// be set by the caller; recycled frames carry no payload.
+func (p *FramePool) Get() *Frame {
+	if p == nil {
+		return &Frame{}
+	}
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// Put recycles a dead frame. The payload reference is dropped so the
+// pool does not pin overlay objects; everything else is overwritten by
+// the next Get's caller.
+func (p *FramePool) Put(f *Frame) {
+	if p == nil || f == nil {
+		return
+	}
+	f.Payload = nil
+	p.free = append(p.free, f)
+}
+
 // Handler consumes frames delivered by the network layer.
 type Handler interface {
-	// Deliver hands a frame that has fully arrived to the receiver.
+	// Deliver hands a frame that has fully arrived to the receiver. The
+	// frame is only valid for the duration of the call: the network
+	// recycles it when Deliver returns (see Frame ownership).
 	Deliver(f *Frame)
 }
 
@@ -47,3 +97,46 @@ type HandlerFunc func(f *Frame)
 
 // Deliver implements Handler.
 func (h HandlerFunc) Deliver(f *Frame) { h(f) }
+
+// frameRing is a growable FIFO ring buffer of frames. Capacity is a
+// power of two so the wrap is a mask; growth is amortized, so a link
+// that has reached its working set never allocates per frame again.
+type frameRing struct {
+	buf  []*Frame
+	head int
+	n    int
+}
+
+func (r *frameRing) len() int { return r.n }
+
+func (r *frameRing) push(f *Frame) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = f
+	r.n++
+}
+
+func (r *frameRing) pop() *Frame {
+	if r.n == 0 {
+		return nil
+	}
+	f := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return f
+}
+
+func (r *frameRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*Frame, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

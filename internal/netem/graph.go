@@ -174,6 +174,7 @@ type GraphFabric struct {
 	ports  map[NodeID]*Port
 	pinned map[NodeID]SwitchID // explicit homes
 	homes  map[NodeID]SwitchID // resolved at attach
+	pool   *FramePool
 
 	unknownDst uint64
 	unroutable uint64
@@ -192,6 +193,7 @@ func NewGraphFabric(clock *sim.Clock) *GraphFabric {
 		ports:    make(map[NodeID]*Port),
 		pinned:   make(map[NodeID]SwitchID),
 		homes:    make(map[NodeID]SwitchID),
+		pool:     NewFramePool(),
 	}
 }
 
@@ -234,7 +236,9 @@ func (g *GraphFabric) AddTrunk(a, b SwitchID, cfg TrunkConfig, rng *sim.RNG) {
 	}
 	lc := LinkConfig{Rate: cfg.Rate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, LossProb: cfg.LossProb, RNG: rng}
 	sa.out[b] = NewLink(trunkName(a, b), g.clock, lc, HandlerFunc(func(f *Frame) { g.routeFrom(sb, f) }))
+	sa.out[b].UsePool(g.pool, false)
 	sb.out[a] = NewLink(trunkName(b, a), g.clock, lc, HandlerFunc(func(f *Frame) { g.routeFrom(sa, f) }))
+	sb.out[a].UsePool(g.pool, false)
 }
 
 func trunkName(a, b SwitchID) string { return fmt.Sprintf("trunk:%s>%s", a, b) }
@@ -303,7 +307,7 @@ func (g *GraphFabric) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RN
 	}
 	home := g.Home(id)
 	sw := g.switches[home]
-	p := newPort(id, g.clock, cfg, HandlerFunc(func(f *Frame) { g.routeFrom(sw, f) }), h, rng)
+	p := newPort(id, g.clock, cfg, HandlerFunc(func(f *Frame) { g.routeFrom(sw, f) }), h, rng, g.pool)
 	g.ports[id] = p
 	g.homes[id] = home
 	return p
@@ -436,6 +440,7 @@ func (g *GraphFabric) routeFrom(sw *gswitch, f *Frame) {
 	dst, ok := g.ports[f.Dst]
 	if !ok {
 		g.unknownDst++
+		g.pool.Put(f)
 		return
 	}
 	home := g.homes[f.Dst]
@@ -446,6 +451,7 @@ func (g *GraphFabric) routeFrom(sw *gswitch, f *Frame) {
 	nh, ok := sw.next[home]
 	if !ok {
 		g.unroutable++
+		g.pool.Put(f)
 		return
 	}
 	sw.out[nh].Send(f)

@@ -58,21 +58,43 @@ func (s *LinkStats) Merge(o LinkStats) {
 // transmits one frame at a time at the configured rate, and a
 // propagation-delay stage. It is the only place in the simulator where
 // bandwidth contention happens.
+//
+// The per-frame machinery is a pre-bound state machine: the two stage
+// callbacks (serialization complete, propagation complete) are bound
+// once at construction, the serializer's current frame lives in a field,
+// and frames past the serializer wait in a FIFO ring — propagation delay
+// is constant per link, so deliveries complete in the order they were
+// scheduled. Together with ring-buffered queues and a FramePool this
+// makes the transit of a frame allocation-free.
 type Link struct {
 	name  string
 	clock *sim.Clock
 	cfg   LinkConfig
 	dst   Handler
 
-	queue       []*Frame // data frames
-	prioQueue   []*Frame // control frames, serialized first
+	queue       frameRing // data frames
+	prioQueue   frameRing // control frames, serialized first
 	queuedBytes units.DataSize
 	busy        bool
+
+	serializing *Frame    // the frame occupying the serializer
+	inflight    frameRing // serialized frames in the propagation stage
+
+	txDoneFn  func() // onTxDone bound once
+	deliverFn func() // onDeliver bound once
+
+	// pool, when non-nil, receives dead frames (dropped, lost, or — on
+	// terminal links — delivered). terminal marks the last link before a
+	// node handler: only there does Deliver end a frame's life; on
+	// fabric-internal links the routing stage sends it onward.
+	pool     *FramePool
+	terminal bool
 
 	stats LinkStats
 
 	// OnDrop, if non-nil, observes every dropped frame (tail drop or
-	// random loss). Tests use it for failure injection assertions.
+	// random loss). Tests use it for failure injection assertions. The
+	// frame is recycled when the observer returns.
 	OnDrop func(f *Frame, reason DropReason)
 }
 
@@ -113,7 +135,19 @@ func NewLink(name string, clock *sim.Clock, cfg LinkConfig, dst Handler) *Link {
 	if dst == nil {
 		panic(fmt.Sprintf("netem: link %q with nil destination", name))
 	}
-	return &Link{name: name, clock: clock, cfg: cfg, dst: dst}
+	l := &Link{name: name, clock: clock, cfg: cfg, dst: dst}
+	l.txDoneFn = l.onTxDone
+	l.deliverFn = l.onDeliver
+	return l
+}
+
+// UsePool wires frame recycling: dead frames go back to pool, and — when
+// terminal is true — a frame's delivery to the destination handler ends
+// its life (fabrics set this on the last link before a node). Standalone
+// links without a pool never recycle.
+func (l *Link) UsePool(pool *FramePool, terminal bool) {
+	l.pool = pool
+	l.terminal = terminal
 }
 
 // Name returns the link's diagnostic name.
@@ -142,7 +176,7 @@ func (l *Link) ResetStats() { l.stats = LinkStats{} }
 
 // QueueLen returns the number of frames waiting (not counting the one in
 // serialization), across both priority classes.
-func (l *Link) QueueLen() int { return len(l.queue) + len(l.prioQueue) }
+func (l *Link) QueueLen() int { return l.queue.len() + l.prioQueue.len() }
 
 // QueuedBytes returns the bytes waiting in the queue.
 func (l *Link) QueuedBytes() units.DataSize { return l.queuedBytes }
@@ -162,17 +196,18 @@ func (l *Link) Send(f *Frame) bool {
 		if l.OnDrop != nil {
 			l.OnDrop(f, DropTail)
 		}
+		l.pool.Put(f)
 		return false
 	}
 	f.enqueuedAt = l.clock.Now()
 	if f.Priority {
-		l.prioQueue = append(l.prioQueue, f)
+		l.prioQueue.push(f)
 	} else {
-		l.queue = append(l.queue, f)
+		l.queue.push(f)
 	}
 	l.queuedBytes += f.Size
 	l.stats.Enqueued++
-	if n := len(l.queue) + len(l.prioQueue); n > l.stats.MaxQueueLen {
+	if n := l.queue.len() + l.prioQueue.len(); n > l.stats.MaxQueueLen {
 		l.stats.MaxQueueLen = n
 	}
 	if !l.busy {
@@ -186,16 +221,10 @@ func (l *Link) Send(f *Frame) bool {
 func (l *Link) transmitNext() {
 	var f *Frame
 	switch {
-	case len(l.prioQueue) > 0:
-		f = l.prioQueue[0]
-		copy(l.prioQueue, l.prioQueue[1:])
-		l.prioQueue[len(l.prioQueue)-1] = nil
-		l.prioQueue = l.prioQueue[:len(l.prioQueue)-1]
-	case len(l.queue) > 0:
-		f = l.queue[0]
-		copy(l.queue, l.queue[1:])
-		l.queue[len(l.queue)-1] = nil
-		l.queue = l.queue[:len(l.queue)-1]
+	case l.prioQueue.len() > 0:
+		f = l.prioQueue.pop()
+	case l.queue.len() > 0:
+		f = l.queue.pop()
 	default:
 		l.busy = false
 		return
@@ -204,23 +233,37 @@ func (l *Link) transmitNext() {
 	l.stats.QueueDelay += l.clock.Now().Sub(f.enqueuedAt)
 
 	l.busy = true
-	txTime := l.cfg.Rate.TransmissionTime(f.Size)
-	l.clock.After(txTime, func() {
-		// Serialization finished: the link head is free for the next
-		// frame while this one propagates.
-		lost := l.cfg.LossProb > 0 && l.cfg.RNG.Bernoulli(l.cfg.LossProb)
-		if lost {
-			l.stats.RandomLoss++
-			if l.OnDrop != nil {
-				l.OnDrop(f, DropLoss)
-			}
-		} else {
-			l.clock.After(l.cfg.Delay, func() {
-				l.stats.Delivered++
-				l.stats.BytesOut += f.Size
-				l.dst.Deliver(f)
-			})
+	l.serializing = f
+	l.clock.After(l.cfg.Rate.TransmissionTime(f.Size), l.txDoneFn)
+}
+
+// onTxDone runs when the serializer finishes a frame: the link head is
+// free for the next frame while this one propagates (or is lost).
+func (l *Link) onTxDone() {
+	f := l.serializing
+	l.serializing = nil
+	if l.cfg.LossProb > 0 && l.cfg.RNG.Bernoulli(l.cfg.LossProb) {
+		l.stats.RandomLoss++
+		if l.OnDrop != nil {
+			l.OnDrop(f, DropLoss)
 		}
-		l.transmitNext()
-	})
+		l.pool.Put(f)
+	} else {
+		l.inflight.push(f)
+		l.clock.After(l.cfg.Delay, l.deliverFn)
+	}
+	l.transmitNext()
+}
+
+// onDeliver completes the propagation of the oldest in-flight frame.
+// Delay is fixed per link and serialization completions are ordered, so
+// the FIFO head is always the frame this event was scheduled for.
+func (l *Link) onDeliver() {
+	f := l.inflight.pop()
+	l.stats.Delivered++
+	l.stats.BytesOut += f.Size
+	l.dst.Deliver(f)
+	if l.terminal {
+		l.pool.Put(f)
+	}
 }

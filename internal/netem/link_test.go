@@ -9,7 +9,9 @@ import (
 	"circuitstart/internal/units"
 )
 
-// sink collects delivered frames with their arrival times.
+// sink collects delivered frames with their arrival times. It snapshots
+// each frame: fabric-routed frames are recycled the moment Deliver
+// returns, so retaining the pointer would read reused storage.
 type sink struct {
 	clock  *sim.Clock
 	frames []*Frame
@@ -17,7 +19,8 @@ type sink struct {
 }
 
 func (s *sink) Deliver(f *Frame) {
-	s.frames = append(s.frames, f)
+	cp := *f
+	s.frames = append(s.frames, &cp)
 	s.times = append(s.times, s.clock.Now())
 }
 
@@ -248,5 +251,155 @@ func TestPropertyLinkConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestLinkZeroDelayDeliveryOrdering(t *testing.T) {
+	// With zero propagation delay, a frame's delivery event lands at the
+	// same instant its successor starts serializing. FIFO (at, seq)
+	// ordering must still deliver frames in send order, one
+	// serialization time apart.
+	clock, link, dst := newTestLink(t, LinkConfig{Rate: units.Mbps(8), Delay: 0})
+	const n = 10
+	for i := 0; i < n; i++ {
+		link.Send(&Frame{Src: "a", Dst: "b", Size: 512, Payload: i})
+	}
+	clock.Run()
+	if len(dst.frames) != n {
+		t.Fatalf("delivered %d, want %d", len(dst.frames), n)
+	}
+	ser := sim.Time(units.Mbps(8).TransmissionTime(512))
+	for i, f := range dst.frames {
+		if f.Payload.(int) != i {
+			t.Fatalf("delivery %d carries payload %v", i, f.Payload)
+		}
+		if want := ser * sim.Time(i+1); dst.times[i] != want {
+			t.Fatalf("delivery %d at %v, want %v", i, dst.times[i], want)
+		}
+	}
+}
+
+func TestLinkPriorityOrderAfterRingWraparound(t *testing.T) {
+	// Cycle far more frames than the rings' initial capacity through a
+	// busy link, with interleaved control frames, so both rings wrap
+	// repeatedly. Control must keep overtaking queued data, and each
+	// class must stay FIFO — exactly what the slice-shift queues did.
+	clock := sim.NewClock()
+	col := &collector{clock: clock}
+	link := NewLink("wrap", clock, LinkConfig{Rate: units.Mbps(8), Delay: time.Millisecond}, col)
+	pool := NewFramePool()
+	link.UsePool(pool, true)
+
+	const rounds = 40
+	var sent int
+	for r := 0; r < rounds; r++ {
+		r := r
+		clock.At(sim.Time(r)*sim.Time(3*time.Millisecond), func() {
+			// Three data frames, then one control frame that must
+			// overtake the two still queued behind the serializer.
+			// Recycled frames keep their fields: every one must be set.
+			for j := 0; j < 3; j++ {
+				f := pool.Get()
+				f.Src, f.Dst, f.Size, f.Priority, f.Payload = "a", "b", 512, false, 10*r+j
+				link.Send(f)
+				sent++
+			}
+			f := pool.Get()
+			f.Src, f.Dst, f.Size, f.Priority, f.Payload = "a", "b", 64, true, 10*r+9
+			link.Send(f)
+			sent++
+		})
+	}
+	clock.Run()
+	if len(col.got) != sent {
+		t.Fatalf("delivered %d of %d", len(col.got), sent)
+	}
+	var lastData, lastCtrl = -1, -1
+	for i, d := range col.got {
+		v := d.f.Payload.(int)
+		if d.f.Priority {
+			if v <= lastCtrl {
+				t.Fatalf("control FIFO violated at delivery %d: %d after %d", i, v, lastCtrl)
+			}
+			lastCtrl = v
+		} else {
+			if v <= lastData {
+				t.Fatalf("data FIFO violated at delivery %d: %d after %d", i, v, lastData)
+			}
+			lastData = v
+		}
+	}
+	// Per round: the control frame was offered after all three data
+	// frames but must be serialized before the two that were still
+	// queued (10r+0 serializing, control, then 10r+1, 10r+2).
+	for r := 0; r < rounds; r++ {
+		posCtrl, posLast := -1, -1
+		for i, d := range col.got {
+			switch d.f.Payload.(int) {
+			case 10*r + 9:
+				posCtrl = i
+			case 10*r + 2:
+				posLast = i
+			}
+		}
+		if posCtrl == -1 || posLast == -1 {
+			t.Fatalf("round %d frames missing", r)
+		}
+		if posCtrl > posLast {
+			t.Fatalf("round %d: control delivered at %d after final data at %d", r, posCtrl, posLast)
+		}
+	}
+}
+
+func TestLinkSetRateMidSerializationAppliesNext(t *testing.T) {
+	// A rate change while a frame occupies the serializer must not
+	// affect that frame — only the next one. (The pre-bound state
+	// machine reads the rate when a serialization starts.)
+	clock := sim.NewClock()
+	col := &collector{clock: clock}
+	link := NewLink("l", clock, LinkConfig{Rate: units.Mbps(1), Delay: 0}, col)
+	pool := NewFramePool()
+	link.UsePool(pool, true)
+	for i := 0; i < 2; i++ {
+		f := pool.Get()
+		f.Src, f.Dst, f.Size, f.Payload = "a", "b", 500, i
+		link.Send(f)
+	}
+	// Halve the rate 1 ms into frame 0's 4 ms serialization.
+	clock.After(time.Millisecond, func() { link.SetRate(units.Kbps(500)) })
+	clock.Run()
+	if len(col.got) != 2 {
+		t.Fatalf("delivered %d", len(col.got))
+	}
+	// Frame 0 finishes at 4 ms (old rate); frame 1 at 4 + 8 = 12 ms.
+	if got := col.got[0].at; got != sim.Time(4*time.Millisecond) {
+		t.Fatalf("frame 0 delivered at %v, want 4ms", got)
+	}
+	if got := col.got[1].at; got != sim.Time(12*time.Millisecond) {
+		t.Fatalf("frame 1 delivered at %v, want 12ms", got)
+	}
+}
+
+func TestFramePoolRecyclesThroughFabric(t *testing.T) {
+	// A frame delivered across the star must come back to the pool:
+	// steady-state traffic reuses storage instead of allocating.
+	clock := sim.NewClock()
+	star := NewStarFabric(clock)
+	pa := star.Attach("a", Symmetric(units.Mbps(10), 0, 0), HandlerFunc(func(*Frame) {}), nil)
+	star.Attach("b", Symmetric(units.Mbps(10), 0, 0), HandlerFunc(func(*Frame) {}), nil)
+	pa.Send("b", 512, "x")
+	clock.Run()
+	if n := len(star.pool.free); n != 1 {
+		t.Fatalf("pool holds %d frames after delivery, want 1", n)
+	}
+	f := star.pool.free[0]
+	if f.Payload != nil {
+		t.Fatal("recycled frame retains payload")
+	}
+	// Unknown destinations recycle too.
+	pa.Send("ghost", 512, "y")
+	clock.Run()
+	if n := len(star.pool.free); n != 1 {
+		t.Fatalf("pool holds %d frames after unknown-dst drop, want 1", n)
 	}
 }

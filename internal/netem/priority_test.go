@@ -20,7 +20,8 @@ type delivered struct {
 }
 
 func (c *collector) Deliver(f *Frame) {
-	c.got = append(c.got, delivered{f: f, at: c.clock.Now()})
+	cp := *f
+	c.got = append(c.got, delivered{f: &cp, at: c.clock.Now()})
 }
 
 func TestPriorityFramesJumpDataQueue(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 type StarFabric struct {
 	clock *sim.Clock
 	ports map[NodeID]*Port
+	pool  *FramePool
 
 	// unknownDst counts frames addressed to detached nodes.
 	unknownDst uint64
@@ -31,7 +32,7 @@ func NewStarFabric(clock *sim.Clock) *StarFabric {
 	if clock == nil {
 		panic("netem: NewStarFabric with nil clock")
 	}
-	return &StarFabric{clock: clock, ports: make(map[NodeID]*Port)}
+	return &StarFabric{clock: clock, ports: make(map[NodeID]*Port), pool: NewFramePool()}
 }
 
 // NewStar is NewStarFabric under its historical name.
@@ -50,7 +51,7 @@ func (s *StarFabric) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RNG
 	if h == nil {
 		panic(fmt.Sprintf("netem: node %q attached with nil handler", id))
 	}
-	p := newPort(id, s.clock, cfg, HandlerFunc(s.route), h, rng)
+	p := newPort(id, s.clock, cfg, HandlerFunc(s.route), h, rng, s.pool)
 	s.ports[id] = p
 	return p
 }
@@ -61,6 +62,7 @@ func (s *StarFabric) route(f *Frame) {
 	dst, ok := s.ports[f.Dst]
 	if !ok {
 		s.unknownDst++
+		s.pool.Put(f)
 		return
 	}
 	dst.down.Send(f)

@@ -16,30 +16,35 @@ func (r *benchRand) Read(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// BenchmarkWrapForward measures the client-side cost of sealing and
-// triple-encrypting one 512 B cell.
-func BenchmarkWrapForward(b *testing.B) {
+// BenchmarkSealVerify isolates the running-digest pair: seal on one
+// side, verify (with the state snapshot) on the other.
+func BenchmarkSealVerify(b *testing.B) {
 	rnd := &benchRand{}
-	idents := make([]*Identity, 3)
-	for i := range idents {
-		id, err := NewIdentity(rnd)
-		if err != nil {
-			b.Fatal(err)
-		}
-		idents[i] = id
+	id, err := NewIdentity(rnd)
+	if err != nil {
+		b.Fatal(err)
 	}
-	cc, _, err := BuildCircuit(rnd, idents)
+	ck, create, err := ClientHandshake(rnd, id.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rk, err := id.RelayHandshake(create)
 	if err != nil {
 		b.Fatal(err)
 	}
 	c := &cell.Cell{}
-	if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, make([]byte, cell.MaxRelayData)); err != nil {
+	data := make([]byte, cell.MaxRelayData)
+	if err := c.SetRelay(cell.RelayHeader{Cmd: cell.RelayData, StreamID: 1}, data); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(cell.Size)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cc.WrapForward(c)
+		ck.SealForward(c)
+		if !rk.VerifyForward(c) {
+			b.Fatal("digest mismatch")
+		}
 	}
 }
 
@@ -61,6 +66,7 @@ func BenchmarkDecryptForward(b *testing.B) {
 	}
 	c := &cell.Cell{}
 	b.SetBytes(cell.Size)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rk.DecryptForward(c)
@@ -78,6 +84,7 @@ func BenchmarkHandshake(b *testing.B) {
 		}
 		idents[i] = id
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := BuildCircuit(rnd, idents); err != nil {

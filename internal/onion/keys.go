@@ -54,10 +54,18 @@ func (id *Identity) Public() []byte { return id.priv.PublicKey().Bytes() }
 // HopKeys is one side's directional key material for a single hop:
 // a forward cipher (client → exit direction), a backward cipher, and
 // running digests for each direction.
+//
+// The scratch fields make the per-cell operations (Seal*, Verify*)
+// allocation-free in steady state: sum receives hash.Sum output, snap
+// holds the serialized running-digest state a verification must be able
+// to roll back to. Both retain their capacity across cells.
 type HopKeys struct {
 	fwd, bwd cipher.Stream
 	fwdDig   hash.Hash
 	bwdDig   hash.Hash
+
+	sum  []byte // scratch for hash.Sum (cap sha256.Size after first use)
+	snap []byte // scratch for the pre-verify digest-state snapshot
 }
 
 // kdf expands a shared secret plus context into derived key material,
@@ -177,7 +185,7 @@ func (k *HopKeys) DecryptBackward(c *cell.Cell) { k.bwd.XORKeyStream(c.Payload[:
 // innermost layer relationship with this hop (the sender side of the
 // forward digest). Must be called before encryption, on the plaintext.
 func (k *HopKeys) SealForward(c *cell.Cell) {
-	seal(k.fwdDig, c)
+	k.seal(k.fwdDig, c)
 }
 
 // VerifyForward checks a fully-decrypted forward cell's digest at the
@@ -185,49 +193,49 @@ func (k *HopKeys) SealForward(c *cell.Cell) {
 // the running digest state on success. On failure the digest state is
 // unchanged and false is returned.
 func (k *HopKeys) VerifyForward(c *cell.Cell) bool {
-	return verify(k.fwdDig, c)
+	return k.verify(k.fwdDig, c)
 }
 
 // SealBackward is SealForward for the backward direction.
 func (k *HopKeys) SealBackward(c *cell.Cell) {
-	seal(k.bwdDig, c)
+	k.seal(k.bwdDig, c)
 }
 
 // VerifyBackward is VerifyForward for the backward direction.
 func (k *HopKeys) VerifyBackward(c *cell.Cell) bool {
-	return verify(k.bwdDig, c)
+	return k.verify(k.bwdDig, c)
 }
 
 // seal computes the digest of the payload (with a zeroed digest field)
 // under the running hash, stores it, and advances the running state.
-func seal(h hash.Hash, c *cell.Cell) {
+// The sum lands in the reusable scratch, so sealing allocates nothing.
+func (k *HopKeys) seal(h hash.Hash, c *cell.Cell) {
 	c.ZeroDigest()
 	h.Write(c.Payload[:])
+	k.sum = h.Sum(k.sum[:0])
 	var d [4]byte
-	copy(d[:], h.Sum(nil)[:4])
+	copy(d[:], k.sum[:4])
 	c.SetDigest(d)
 }
 
-// verify recomputes the digest the sender would have stored. To keep the
-// running states in lockstep, the payload (digest field zeroed) is fed
-// to a copy of the hash; only on success is the real state advanced.
-func verify(h hash.Hash, c *cell.Cell) bool {
+// verify recomputes the digest the sender would have stored. The running
+// state is snapshotted into the reusable scratch first; the payload
+// (digest field zeroed) then advances the real state, which is rolled
+// back from the snapshot if the digest does not match. Steady state
+// (matching digests, a Go 1.24+ runtime) allocates nothing.
+func (k *HopKeys) verify(h hash.Hash, c *cell.Cell) bool {
 	want := c.PayloadDigestField()
 	c.ZeroDigest()
 
-	// Trial-hash on a detached copy of the running state.
-	type copier interface{ MarshalBinary() ([]byte, error) }
-	saved, err := h.(copier).MarshalBinary()
-	if err != nil {
-		panic(fmt.Sprintf("onion: digest state not serializable: %v", err))
-	}
+	k.snap = snapshotHash(h, k.snap[:0])
 	h.Write(c.Payload[:])
+	k.sum = h.Sum(k.sum[:0])
 	var got [4]byte
-	copy(got[:], h.Sum(nil)[:4])
+	copy(got[:], k.sum[:4])
 	if got != want {
 		// Roll back the running state.
 		type restorer interface{ UnmarshalBinary([]byte) error }
-		if err := h.(restorer).UnmarshalBinary(saved); err != nil {
+		if err := h.(restorer).UnmarshalBinary(k.snap); err != nil {
 			panic(fmt.Sprintf("onion: restoring digest state: %v", err))
 		}
 		c.SetDigest(want) // leave the cell as we found it
@@ -235,4 +243,29 @@ func verify(h hash.Hash, c *cell.Cell) bool {
 	}
 	c.SetDigest(want)
 	return true
+}
+
+// snapshotHash serializes a hash's running state into buf. It prefers
+// the allocation-free AppendBinary (encoding.BinaryAppender, implemented
+// by the SHA-256 state from Go 1.24) and falls back to MarshalBinary on
+// older runtimes.
+func snapshotHash(h hash.Hash, buf []byte) []byte {
+	if a, ok := h.(interface {
+		AppendBinary([]byte) ([]byte, error)
+	}); ok {
+		out, err := a.AppendBinary(buf)
+		if err != nil {
+			panic(fmt.Sprintf("onion: digest state not serializable: %v", err))
+		}
+		return out
+	}
+	m, ok := h.(interface{ MarshalBinary() ([]byte, error) })
+	if !ok {
+		panic("onion: digest state not serializable")
+	}
+	out, err := m.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("onion: digest state not serializable: %v", err))
+	}
+	return append(buf, out...)
 }

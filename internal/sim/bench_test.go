@@ -5,11 +5,14 @@ import (
 	"time"
 )
 
-// BenchmarkClockScheduleRun measures raw event throughput: schedule and
-// execute one event per iteration.
+// BenchmarkClockScheduleRun measures raw event throughput including the
+// per-iteration closure the caller builds — the historical baseline
+// shape, kept for trend comparison against the gated allocation-free
+// scheduling benchmark (internal/benchcases BenchmarkClockSchedule).
 func BenchmarkClockScheduleRun(b *testing.B) {
 	c := NewClock()
 	n := 0
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.After(time.Microsecond, func() { n++ })
 		c.Run()
@@ -22,6 +25,7 @@ func BenchmarkClockScheduleRun(b *testing.B) {
 // BenchmarkClockDeepQueue measures heap behaviour with many pending
 // events: 1024 timers armed, then drained.
 func BenchmarkClockDeepQueue(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := NewClock()
 		n := 0
@@ -35,14 +39,15 @@ func BenchmarkClockDeepQueue(b *testing.B) {
 	}
 }
 
-// BenchmarkTimerRearm measures the cancel-and-rearm pattern the
-// transport RTO uses on every acknowledgment.
-func BenchmarkTimerRearm(b *testing.B) {
+// BenchmarkTimerCancelRearm measures the stop-then-arm cycle (probe
+// timers): cancellation must recycle the event through the free list.
+func BenchmarkTimerCancelRearm(b *testing.B) {
 	c := NewClock()
 	tm := NewTimer(c, func() {})
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tm.Arm(time.Millisecond)
+		tm.Stop()
 	}
-	tm.Stop()
 	c.Run()
 }

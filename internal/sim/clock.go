@@ -11,10 +11,17 @@
 // monotone clock, and stable FIFO ordering for events scheduled at the
 // same instant. Determinism is a hard requirement — given the same seed,
 // every experiment in this repository reproduces byte-identical traces.
+//
+// The scheduler is built for an allocation-free steady state: the
+// priority queue is an inlined 4-ary min-heap specialized to the event
+// type (shallower than a binary heap, and the four-child comparison loop
+// stays in cache), fired and cancelled events are recycled through a
+// per-clock free list, and cancellation removes the event from the heap
+// immediately, so long runs that arm and disarm millions of timers never
+// inflate the queue with dead entries.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -61,43 +68,27 @@ func (t Time) After(u Time) bool { return t > u }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. Events are owned by their Clock
+// and recycled through its free list after firing or cancellation; a
+// generation counter invalidates any Handle still pointing at a recycled
+// event.
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO for equal timestamps
-	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
+	at  Time
+	seq uint64 // tie-breaker: FIFO for equal timestamps
+	fn  func()
+	idx int32  // heap index, -1 when not queued
+	gen uint64 // bumped on recycle; Handles capture the value they saw
+	clk *Clock // owning clock, for Handle.Cancel
+	nxt *event // free-list link
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess orders events by (at, seq) — earliest instant first, FIFO
+// within an instant.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Clock is a discrete-event scheduler plus virtual clock. It is not safe
@@ -105,8 +96,9 @@ func (q *eventQueue) Pop() any {
 // which is what makes runs reproducible.
 type Clock struct {
 	now     Time
-	queue   eventQueue
+	queue   []*event // 4-ary min-heap ordered by (at, seq)
 	seq     uint64
+	free    *event // recycled events awaiting reuse
 	running bool
 	stopped bool
 
@@ -126,29 +118,55 @@ func (c *Clock) Now() Time { return c.now }
 // scenario actually did work.
 func (c *Clock) Processed() uint64 { return c.processed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled events that have not yet been reaped).
+// Pending returns the number of events currently scheduled. Cancelled
+// events are removed from the queue immediately, so the count is exact —
+// long transport runs that cancel many RTO timers do not inflate it.
 func (c *Clock) Pending() int { return len(c.queue) }
 
-// Handle identifies a scheduled event and allows cancelling it.
+// Handle identifies a scheduled event and allows cancelling it. The zero
+// Handle is inert: Cancel and Active return false.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
-// Cancel prevents the event from running. Cancelling an event that has
-// already fired or been cancelled is a no-op. Cancel reports whether the
-// event was still pending.
+// Cancel prevents the event from running, removing it from the queue
+// immediately. Cancelling an event that has already fired or been
+// cancelled is a no-op. Cancel reports whether the event was still
+// pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.dead || h.ev.idx == -1 {
+	if !h.Active() {
 		return false
 	}
-	h.ev.dead = true
+	c := h.ev.clk
+	c.heapRemove(h.ev)
+	c.release(h.ev)
 	return true
 }
 
 // Active reports whether the event is still scheduled to run.
 func (h Handle) Active() bool {
-	return h.ev != nil && !h.ev.dead && h.ev.idx != -1
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.idx >= 0
+}
+
+// alloc takes an event from the free list, or grows the arena by one.
+func (c *Clock) alloc() *event {
+	ev := c.free
+	if ev == nil {
+		return &event{clk: c}
+	}
+	c.free = ev.nxt
+	ev.nxt = nil
+	return ev
+}
+
+// release recycles an event that has fired or been cancelled. Bumping
+// the generation makes every outstanding Handle to it inert.
+func (c *Clock) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.nxt = c.free
+	c.free = ev
 }
 
 // At schedules fn to run at the absolute instant t. Scheduling in the
@@ -160,10 +178,13 @@ func (c *Clock) At(t Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, seq: c.seq, fn: fn}
+	ev := c.alloc()
+	ev.at = t
+	ev.seq = c.seq
+	ev.fn = fn
 	c.seq++
-	heap.Push(&c.queue, ev)
-	return Handle{ev: ev}
+	c.heapPush(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current instant.
@@ -172,6 +193,20 @@ func (c *Clock) After(d time.Duration, fn func()) Handle {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return c.At(c.now.Add(d), fn)
+}
+
+// reschedule moves a pending event to the absolute instant t, consuming
+// a fresh sequence number exactly as cancel-and-reschedule would, so
+// FIFO ordering at equal timestamps is indistinguishable from the
+// two-call pattern — without the allocation. Timer is the only caller.
+func (c *Clock) reschedule(ev *event, t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, c.now))
+	}
+	ev.at = t
+	ev.seq = c.seq
+	c.seq++
+	c.heapFix(ev)
 }
 
 // Stop aborts a running Run/RunUntil after the current event returns.
@@ -200,13 +235,14 @@ func (c *Clock) RunUntil(horizon Time) Time {
 			c.now = horizon
 			return c.now
 		}
-		heap.Pop(&c.queue)
-		if next.dead {
-			continue
-		}
+		c.heapPop()
+		fn := next.fn
 		c.now = next.at
 		c.processed++
-		next.fn()
+		// Recycle before invoking: fn may schedule new events and is
+		// allowed to reuse this very slot.
+		c.release(next)
+		fn()
 	}
 	if horizon != MaxTime && c.now < horizon {
 		c.now = horizon
@@ -214,18 +250,112 @@ func (c *Clock) RunUntil(horizon Time) Time {
 	return c.now
 }
 
-// Step executes exactly one pending (non-cancelled) event and reports
-// whether one was executed. It is primarily a testing aid.
+// Step executes exactly one pending event and reports whether one was
+// executed. It is primarily a testing aid.
 func (c *Clock) Step() bool {
-	for len(c.queue) > 0 {
-		next := heap.Pop(&c.queue).(*event)
-		if next.dead {
-			continue
-		}
-		c.now = next.at
-		c.processed++
-		next.fn()
-		return true
+	if len(c.queue) == 0 {
+		return false
 	}
-	return false
+	next := c.queue[0]
+	c.heapPop()
+	fn := next.fn
+	c.now = next.at
+	c.processed++
+	c.release(next)
+	fn()
+	return true
+}
+
+// --- inlined 4-ary min-heap ------------------------------------------
+//
+// Children of node i sit at 4i+1..4i+4; the parent of node i at
+// (i-1)/4. Compared to container/heap this removes the interface
+// dispatch per comparison and halves the tree depth.
+
+func (c *Clock) heapPush(ev *event) {
+	ev.idx = int32(len(c.queue))
+	c.queue = append(c.queue, ev)
+	c.heapUp(int(ev.idx))
+}
+
+// heapPop removes the minimum (c.queue[0]).
+func (c *Clock) heapPop() {
+	n := len(c.queue) - 1
+	root := c.queue[0]
+	last := c.queue[n]
+	c.queue[n] = nil
+	c.queue = c.queue[:n]
+	if n > 0 {
+		c.queue[0] = last
+		last.idx = 0
+		c.heapDown(0)
+	}
+	root.idx = -1
+}
+
+// heapRemove deletes an arbitrary queued event.
+func (c *Clock) heapRemove(ev *event) {
+	i := int(ev.idx)
+	n := len(c.queue) - 1
+	last := c.queue[n]
+	c.queue[n] = nil
+	c.queue = c.queue[:n]
+	if i != n {
+		c.queue[i] = last
+		last.idx = int32(i)
+		c.heapDown(i)
+		c.heapUp(int(last.idx))
+	}
+	ev.idx = -1
+}
+
+// heapFix restores the heap invariant after ev's (at, seq) changed.
+func (c *Clock) heapFix(ev *event) {
+	i := int(ev.idx)
+	c.heapDown(i)
+	c.heapUp(int(ev.idx))
+}
+
+func (c *Clock) heapUp(i int) {
+	ev := c.queue[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(ev, c.queue[p]) {
+			break
+		}
+		c.queue[i] = c.queue[p]
+		c.queue[i].idx = int32(i)
+		i = p
+	}
+	c.queue[i] = ev
+	ev.idx = int32(i)
+}
+
+func (c *Clock) heapDown(i int) {
+	n := len(c.queue)
+	ev := c.queue[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if eventLess(c.queue[j], c.queue[min]) {
+				min = j
+			}
+		}
+		if !eventLess(c.queue[min], ev) {
+			break
+		}
+		c.queue[i] = c.queue[min]
+		c.queue[i].idx = int32(i)
+		i = min
+	}
+	c.queue[i] = ev
+	ev.idx = int32(i)
 }

@@ -326,3 +326,76 @@ func TestTimeArithmetic(t *testing.T) {
 		t.Errorf("String = %q", a.String())
 	}
 }
+
+func TestPendingCountsExactly(t *testing.T) {
+	c := NewClock()
+	handles := make([]Handle, 10)
+	for i := range handles {
+		handles[i] = c.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if got := c.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	// Cancelled events leave the queue immediately — a long run that
+	// cancels many RTO timers must not inflate the pending count.
+	for i := 0; i < 6; i++ {
+		handles[i].Cancel()
+	}
+	if got := c.Pending(); got != 4 {
+		t.Fatalf("Pending after 6 cancels = %d, want 4", got)
+	}
+	c.Run()
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+	if got := c.Processed(); got != 4 {
+		t.Fatalf("Processed = %d, want 4", got)
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	c := NewClock()
+	ran := 0
+	h := c.After(time.Millisecond, func() { ran++ })
+	c.Run()
+	// The fired event has been recycled; a second schedule reuses its
+	// slot. The stale handle must be inert against the new occupant.
+	h2 := c.After(time.Millisecond, func() { ran += 10 })
+	if h.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if h.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	if !h2.Active() {
+		t.Fatal("fresh handle reports inactive")
+	}
+	c.Run()
+	if ran != 11 {
+		t.Fatalf("ran = %d, want 11 (both events fired)", ran)
+	}
+}
+
+func TestCancelledThenRescheduledOrdering(t *testing.T) {
+	// Heavy cancel/reschedule churn at one instant must preserve FIFO of
+	// the surviving events — the free list must not perturb (at, seq).
+	c := NewClock()
+	var order []int
+	at := Time(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		i := i
+		h := c.At(at, func() { order = append(order, i) })
+		if i%2 == 1 {
+			h.Cancel()
+		}
+	}
+	c.Run()
+	if len(order) != 50 {
+		t.Fatalf("ran %d events, want 50", len(order))
+	}
+	for j := 1; j < len(order); j++ {
+		if order[j] <= order[j-1] {
+			t.Fatalf("FIFO violated: %d after %d", order[j], order[j-1])
+		}
+	}
+}

@@ -1,14 +1,21 @@
 package sim
 
+import "fmt"
 import "time"
 
 // Timer is a restartable one-shot timer bound to a Clock. It is the
 // building block for transport retransmission timers: arming an already
 // armed timer reschedules it, and firing clears the armed state before
 // invoking the callback so the callback may re-arm it.
+//
+// Re-arming an armed timer reschedules its event in place (new instant,
+// fresh sequence number) instead of cancelling and reallocating, so the
+// arm-per-ACK pattern of the transport RTO is allocation-free; the fire
+// callback is bound once at construction for the same reason.
 type Timer struct {
 	clock  *Clock
 	fn     func()
+	fireFn func() // t.fire bound once, reused by every (re)arm
 	handle Handle
 }
 
@@ -20,20 +27,27 @@ func NewTimer(clock *Clock, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil function")
 	}
-	return &Timer{clock: clock, fn: fn}
+	t := &Timer{clock: clock, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Arm (re)schedules the timer to fire d from now. Any previously
-// scheduled firing is cancelled.
+// scheduled firing is superseded.
 func (t *Timer) Arm(d time.Duration) {
-	t.handle.Cancel()
-	t.handle = t.clock.After(d, t.fire)
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	t.ArmAt(t.clock.Now().Add(d))
 }
 
 // ArmAt (re)schedules the timer to fire at the absolute instant at.
 func (t *Timer) ArmAt(at Time) {
-	t.handle.Cancel()
-	t.handle = t.clock.At(at, t.fire)
+	if t.handle.Active() {
+		t.clock.reschedule(t.handle.ev, at)
+		return
+	}
+	t.handle = t.clock.At(at, t.fireFn)
 }
 
 // Stop cancels a pending firing. Stopping an unarmed timer is a no-op.

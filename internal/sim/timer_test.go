@@ -108,3 +108,33 @@ func TestNewTimerPanics(t *testing.T) {
 	mustPanic("nil clock", func() { NewTimer(nil, func() {}) })
 	mustPanic("nil fn", func() { NewTimer(c, nil) })
 }
+
+func TestTimerRearmMatchesCancelScheduleOrdering(t *testing.T) {
+	// Rescheduling in place must be indistinguishable from cancel +
+	// schedule: a timer re-armed to an instant where another event is
+	// later scheduled fires in (re)arm order, not original-arm order.
+	c := NewClock()
+	var order []string
+	tm := NewTimer(c, func() { order = append(order, "timer") })
+	tm.Arm(5 * time.Millisecond)
+	c.After(time.Millisecond, func() { order = append(order, "a") })
+	tm.Arm(time.Millisecond) // re-arm to the same instant as "a", after it
+	c.After(time.Millisecond, func() { order = append(order, "b") })
+	c.Run()
+	want := [3]string{"a", "timer", "b"}
+	if [3]string(order) != want {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTimerRearmNegativeDelayPanics(t *testing.T) {
+	c := NewClock()
+	tm := NewTimer(c, func() {})
+	tm.Arm(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative re-arm did not panic")
+		}
+	}()
+	tm.Arm(-time.Second)
+}
