@@ -52,6 +52,22 @@
 // are thin adapters over this API; examples/scenarios shows a custom
 // multi-arm sweep, and 'circuitsim scenario' drives one from the
 // command line.
+//
+// # Circuit lifecycle and churn
+//
+// Circuits are dynamic entities: a built Circuit can be torn down with
+// Teardown, which removes its per-hop state from every relay on the
+// path and releases timers and untransmitted cells back to their pools
+// — so long-running simulations do not accumulate dead circuit state.
+// Relays can fail and recover mid-run (blackholing traffic while
+// down). In a Scenario, the same dynamics are declared as data:
+// CircuitEvents adds Poisson arrivals of new downloads over fresh
+// circuits and teardown of completed ones, RelayEvents schedules relay
+// failures/recoveries, and an Arm with Rebuild set rebuilds affected
+// circuits over fresh consensus-sampled paths — paying a full startup
+// again, the regime where the paper's scheme matters most
+// (AblationChurn measures exactly that; see 'circuitsim ablation -name
+// churn' and examples/churn).
 package circuitstart
 
 import (
@@ -128,6 +144,8 @@ type (
 	DynamicRestartParams = experiments.DynamicRestartParams
 	// SharedBottleneckParams configures the shared-trunk ablation.
 	SharedBottleneckParams = experiments.SharedBottleneckParams
+	// ChurnParams configures the circuit-churn ablation.
+	ChurnParams = experiments.ChurnParams
 )
 
 // Declarative experiment API: a Scenario describes an experiment as
@@ -151,6 +169,16 @@ type (
 	// LinkEvent schedules a mid-run capacity change on a relay's
 	// access links or on a backbone trunk.
 	LinkEvent = scenario.LinkEvent
+	// CircuitEvents configures circuit churn: Poisson arrivals of new
+	// downloads over fresh circuits, teardown of completed circuits,
+	// and scheduled teardowns of initial circuits.
+	CircuitEvents = scenario.CircuitEvents
+	// TeardownEvent schedules the teardown of one initial circuit.
+	TeardownEvent = scenario.TeardownEvent
+	// RelayEvent schedules a relay failure or recovery.
+	RelayEvent = scenario.RelayEvent
+	// ChurnStats aggregates an arm's circuit-lifecycle activity.
+	ChurnStats = scenario.ChurnStats
 	// NetStats aggregates fabric drop counters and trunk stats per arm.
 	NetStats = scenario.NetStats
 	// TrunkStat is one trunk link's pooled counters.
@@ -175,6 +203,14 @@ const (
 	BackboneLine = workload.BackboneLine
 	// BackboneFull trunks every switch pair.
 	BackboneFull = workload.BackboneFull
+)
+
+// Relay churn actions for RelayEvent.Kind.
+const (
+	// RelayFail takes a relay out of service (frames blackholed).
+	RelayFail = scenario.RelayFail
+	// RelayRecover puts a failed relay back in service.
+	RelayRecover = scenario.RelayRecover
 )
 
 // Arrival processes for CircuitSet.Arrival.Kind.
@@ -235,6 +271,12 @@ var (
 	AblationSharedBottleneck = experiments.AblationSharedBottleneck
 	// DefaultSharedBottleneckParams mirrors the shared-trunk setup.
 	DefaultSharedBottleneckParams = experiments.DefaultSharedBottleneckParams
+	// AblationChurn compares CircuitStart vs BackTap under circuit
+	// churn: Poisson arrivals of short downloads over fresh circuits,
+	// per-completion teardown, and relay failures with rebuilds.
+	AblationChurn = experiments.AblationChurn
+	// DefaultChurnParams mirrors the churn ablation's setup.
+	DefaultChurnParams = experiments.DefaultChurnParams
 
 	// RunScenario executes a Scenario with a default Runner (one
 	// worker per CPU).

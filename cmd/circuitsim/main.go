@@ -1,15 +1,8 @@
 // Command circuitsim regenerates the paper's figures and the ablation
-// tables from the command line.
-//
-// Usage:
-//
-//	circuitsim fig1-cwnd  [-distance N] [-policy P] [-seed S] [-csv out.csv]
-//	circuitsim fig1-cdf   [-circuits K] [-relays N] [-size BYTES] [-seed S] [-csv out.csv]
-//	circuitsim ablation   [-name gamma|compensation|clock|position|concurrency|extensions|vegas|shared] [-seed S]
-//	circuitsim dynamic    [-before MBPS] [-after MBPS] [-restart R] [-seed S]
-//	circuitsim scenario   [-arms P1,P2,…] [-circuits K] [-relays N] [-workers W]
-//	                      [-reps R] [-poisson RATE] [-download] [-csv out.csv]
-//	circuitsim bench      [-json] [-out FILE]
+// tables from the command line. Run 'circuitsim -h' for the subcommand
+// list (rendered from the same table that dispatches them, so the help
+// text cannot drift from reality) and 'circuitsim <command> -h' for
+// each command's flags.
 //
 // Each subcommand prints a human-readable table to stdout; -csv
 // additionally writes the raw series/CDF in gnuplot-ready CSV. The
@@ -21,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -35,52 +29,63 @@ import (
 	"circuitstart/internal/workload"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "fig1-cwnd":
-		err = runFig1Cwnd(os.Args[2:])
-	case "fig1-cdf":
-		err = runFig1CDF(os.Args[2:])
-	case "ablation":
-		err = runAblation(os.Args[2:])
-	case "dynamic":
-		err = runDynamic(os.Args[2:])
-	case "scenario":
-		err = runScenario(os.Args[2:])
-	case "bench":
-		err = runBench(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "circuitsim: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "circuitsim:", err)
-		os.Exit(1)
-	}
+// command binds one subcommand name to its summary and implementation.
+// The dispatcher and the usage text are both rendered from the
+// commands table below — the single source of truth — so `circuitsim
+// -h`, the README's CLI reference and the actual behaviour cannot
+// diverge silently (TestUsageMatchesCommandTable enforces it).
+type command struct {
+	name    string
+	summary string
+	run     func(args []string) error
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `circuitsim — CircuitStart (SIGCOMM'18) reproduction harness
+var commands = []command{
+	{"fig1-cwnd", "single-circuit source cwnd trace (Figure 1, upper panels)", runFig1Cwnd},
+	{"fig1-cdf", "download-time CDF, with vs without CircuitStart (Figure 1, lower)", runFig1CDF},
+	{"ablation", "design-choice sweeps: " + strings.Join(ablationNames, ", "), runAblation},
+	{"dynamic", "capacity-step extension (future-work experiment)", runDynamic},
+	{"scenario", "declarative multi-arm sweep on the parallel runner", runScenario},
+	{"bench", "headline microbenchmarks; -json snapshots BENCH_<n>.json", runBench},
+}
 
-Commands:
-  fig1-cwnd   single-circuit source cwnd trace (Figure 1, upper panels)
-  fig1-cdf    download-time CDF, with vs without CircuitStart (Figure 1, lower)
-  ablation    design-choice sweeps: gamma, compensation, clock, position,
-              concurrency, extensions, vegas, shared (circuits over one trunk)
-  dynamic     capacity-step extension (future-work experiment)
-  scenario    declarative multi-arm sweep on the parallel runner
-  bench       headline microbenchmarks; -json snapshots BENCH_<n>.json
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "-h" || name == "--help" || name == "help" {
+		usage(os.Stderr)
+		return
+	}
+	for _, cmd := range commands {
+		if cmd.name == name {
+			if err := cmd.run(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "circuitsim:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "circuitsim: unknown command %q\n", name)
+	usage(os.Stderr)
+	os.Exit(2)
+}
 
-Run 'circuitsim <command> -h' for flags.
-`)
+// usage renders the help text from the commands table.
+func usage(w io.Writer) {
+	fmt.Fprint(w, "circuitsim — CircuitStart (SIGCOMM'18) reproduction harness\n\nCommands:\n")
+	width := 0
+	for _, cmd := range commands {
+		if len(cmd.name) > width {
+			width = len(cmd.name)
+		}
+	}
+	for _, cmd := range commands {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, cmd.name, cmd.summary)
+	}
+	fmt.Fprint(w, "\nRun 'circuitsim <command> -h' for flags.\n")
 }
 
 func runFig1Cwnd(args []string) error {
@@ -180,12 +185,23 @@ func runFig1CDF(args []string) error {
 	return nil
 }
 
+// ablationNames lists every -name the ablation subcommand accepts, in
+// presentation order; runAblation's switch must cover exactly these
+// (the usage text and README derive from this list).
+var ablationNames = []string{
+	"gamma", "compensation", "clock", "position", "concurrency",
+	"extensions", "vegas", "shared", "churn",
+}
+
 func runAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
-	name := fs.String("name", "gamma", "gamma | compensation | clock | position | concurrency | extensions | vegas | shared")
+	name := fs.String("name", "gamma", strings.Join(ablationNames, " | "))
 	seed := fs.Int64("seed", 42, "experiment seed")
 	circuits := fs.Int("circuits", 8, "circuits sharing the trunk (shared only)")
 	trunk := fs.Float64("trunk", 16, "shared trunk rate [Mbit/s] (shared only)")
+	arrivals := fs.Int("arrivals", 40, "churn downloads arriving mid-run (churn only)")
+	rate := fs.Float64("rate", 8, "churn arrival rate per second (churn only)")
+	failures := fs.Int("failures", 2, "high-bandwidth relays failing mid-run (churn only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,6 +270,24 @@ func runAblation(args []string) error {
 			tbl.AddRowf(r.Circuits, r.MedianWith, r.MedianWithout, r.P90With, r.P90Without)
 		}
 		return tbl.WriteText(os.Stdout)
+	case "churn":
+		p := experiments.DefaultChurnParams()
+		p.Seed = *seed
+		p.Arrivals = *arrivals
+		p.ArrivalRate = *rate
+		p.Failures = *failures
+		res, err := experiments.AblationChurn(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ablation churn: %d initial + %d arriving downloads (%s each) over %d relays, %d relay failures\n",
+			p.InitialCircuits, p.Arrivals, p.TransferSize, p.Relays.N, p.Failures)
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("median improvement with CircuitStart under churn: %.3f s\n",
+			-res.MedianGap("circuitstart", "backtap"))
+		return nil
 	default:
 		return fmt.Errorf("unknown ablation %q", *name)
 	}

@@ -68,6 +68,62 @@ func TestRunAblationShared(t *testing.T) {
 	}
 }
 
+func TestRunAblationChurn(t *testing.T) {
+	if err := runAblation([]string{"-name", "churn", "-arrivals", "6", "-rate", "6", "-failures", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAblation([]string{"-name", "churn", "-failures", "-1"}); err == nil {
+		t.Fatal("negative failure count accepted")
+	}
+}
+
+// TestUsageMatchesCommandTable pins the help text to the dispatch
+// table: every command the binary accepts is listed, every ablation
+// name appears, and nothing extra is advertised.
+func TestUsageMatchesCommandTable(t *testing.T) {
+	var buf strings.Builder
+	usage(&buf)
+	help := buf.String()
+	for _, cmd := range commands {
+		if !strings.Contains(help, "\n  "+cmd.name) {
+			t.Errorf("usage does not list command %q:\n%s", cmd.name, help)
+		}
+		if cmd.run == nil {
+			t.Errorf("command %q has no implementation", cmd.name)
+		}
+	}
+	for _, name := range ablationNames {
+		if !strings.Contains(help, name) {
+			t.Errorf("usage does not mention ablation %q", name)
+		}
+	}
+	if got := strings.Count(help, "\n  "); got != len(commands) {
+		t.Errorf("usage lists %d commands, table has %d", got, len(commands))
+	}
+}
+
+// TestAblationNamesDispatch asserts every advertised ablation name is
+// actually dispatchable (reaches its implementation rather than the
+// unknown-name error). Names whose full runs other tests in this file
+// already exercise — compensation/clock/position (TestRunAblation),
+// shared (TestRunAblationShared), churn (TestRunAblationChurn) — and
+// the minutes-long concurrency sweep are skipped; the remaining
+// trace-topology sweeps are cheap enough to run outright.
+func TestAblationNamesDispatch(t *testing.T) {
+	covered := map[string]bool{
+		"compensation": true, "clock": true, "position": true,
+		"shared": true, "churn": true, "concurrency": true,
+	}
+	for _, name := range ablationNames {
+		if covered[name] {
+			continue
+		}
+		if err := runAblation([]string{"-name", name}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
 func TestRunDynamic(t *testing.T) {
 	if err := runDynamic([]string{"-before", "8", "-after", "24"}); err != nil {
 		t.Fatal(err)

@@ -160,6 +160,10 @@ type Circuit struct {
 	transferStart sim.Time
 	ttlb          time.Duration
 	done          bool
+
+	builtAt  sim.Time
+	closedAt sim.Time
+	closed   bool
 }
 
 // BuildCircuit constructs the circuit: per-hop key establishment with
@@ -194,7 +198,7 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 		return nil, err
 	}
 
-	c := &Circuit{id: spec.ID, network: n, spec: spec}
+	c := &Circuit{id: spec.ID, network: n, spec: spec, builtAt: n.Now()}
 
 	// Wire the relay hops. Hop i of the circuit runs between node i and
 	// node i+1 of the sequence source, relays..., sink.
@@ -331,6 +335,9 @@ func (c *Circuit) Transfer(size units.DataSize, onComplete func(ttlb time.Durati
 	if size <= 0 {
 		panic(fmt.Sprintf("core: Transfer(%v)", size))
 	}
+	if c.closed {
+		panic("core: Transfer on a torn-down circuit")
+	}
 	c.transferStart = c.network.Now()
 	c.done = false
 	c.sink.Expect(size, func(at sim.Time) {
@@ -354,6 +361,9 @@ func (c *Circuit) TransferBackward(size units.DataSize, onComplete func(ttlb tim
 	if size <= 0 {
 		panic(fmt.Sprintf("core: TransferBackward(%v)", size))
 	}
+	if c.closed {
+		panic("core: TransferBackward on a torn-down circuit")
+	}
 	c.transferStart = c.network.Now()
 	c.done = false
 	c.source.ExpectDownload(size, func(at sim.Time) {
@@ -365,6 +375,53 @@ func (c *Circuit) TransferBackward(size units.DataSize, onComplete func(ttlb tim
 	})
 	c.sink.SendBackward(size)
 }
+
+// Teardown closes the circuit and releases its state: every relay on
+// the path drops the circuit's hop (both directions' transport
+// instances close, their timer events returning to the clock's free
+// list), and the endpoints shut down, recycling their never-transmitted
+// packetization cells to the network's cell pool. A transfer still in
+// progress is abandoned — Done stays false and no completion callback
+// fires. Frames already in flight when the circuit dies are absorbed
+// (relays count them as UnknownCircuit, endpoints drop them silently).
+// Teardown is idempotent.
+func (c *Circuit) Teardown() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closedAt = c.network.Now()
+	for _, id := range c.spec.Relays {
+		if r := c.network.relays[id]; r != nil {
+			r.RemoveHop(c.id)
+		}
+	}
+	c.source.Close()
+	c.sink.Close()
+}
+
+// Closed reports whether the circuit has been torn down.
+func (c *Circuit) Closed() bool { return c.closed }
+
+// BuiltAt returns the virtual time the circuit was built.
+func (c *Circuit) BuiltAt() sim.Time { return c.builtAt }
+
+// ClosedAt returns when the circuit was torn down (meaningful only
+// when Closed reports true).
+func (c *Circuit) ClosedAt() sim.Time { return c.closedAt }
+
+// Lifetime returns how long the circuit has been alive: ClosedAt −
+// BuiltAt once torn down, now − BuiltAt while still up.
+func (c *Circuit) Lifetime() time.Duration {
+	if c.closed {
+		return c.closedAt.Sub(c.builtAt)
+	}
+	return c.network.Now().Sub(c.builtAt)
+}
+
+// Relays returns the circuit's relay path, first hop first. The slice
+// is shared; callers must not modify it.
+func (c *Circuit) Relays() []netem.NodeID { return c.spec.Relays }
 
 // Done reports whether the current transfer has completed.
 func (c *Circuit) Done() bool { return c.done }

@@ -148,14 +148,32 @@ func (c *Consensus) PickWeighted(rng *sim.RNG, flag Flag, excl map[netem.NodeID]
 // hop from Guard-flagged relays, the last from Exit-flagged, and the
 // rest from Middle-flagged, all bandwidth-weighted.
 func (c *Consensus) SelectPath(rng *sim.RNG, nHops int) ([]Descriptor, error) {
+	return c.SelectPathExcluding(rng, nHops, nil)
+}
+
+// SelectPathExcluding is SelectPath with an additional exclusion set:
+// no relay whose entry in excl is true is considered for any position
+// (false-valued and non-consensus entries are ignored). Churn engines
+// use it to rebuild circuits around failed relays.
+func (c *Consensus) SelectPathExcluding(rng *sim.RNG, nHops int, excl map[netem.NodeID]bool) ([]Descriptor, error) {
 	if nHops < 1 {
 		return nil, errors.New("directory: path needs at least one hop")
 	}
-	if nHops > len(c.relays) {
+	used := make(map[netem.NodeID]bool, nHops+len(excl))
+	excluded := 0
+	for id, on := range excl {
+		if !on {
+			continue
+		}
+		used[id] = true
+		if _, member := c.byID[id]; member {
+			excluded++
+		}
+	}
+	if nHops > len(c.relays)-excluded {
 		return nil, ErrPathTooLong
 	}
 	path := make([]Descriptor, nHops)
-	used := make(map[netem.NodeID]bool, nHops)
 
 	posFlag := func(i int) Flag {
 		switch {

@@ -42,6 +42,8 @@ type Source struct {
 	downExpected units.DataSize
 	onDownload   func(at sim.Time)
 	downDone     bool
+
+	closed bool
 }
 
 // NewSource attaches a source node to the fabric. params is the
@@ -113,6 +115,27 @@ func (s *Source) consumeDownload(c *cell.Cell) {
 	}
 }
 
+// Close releases the source's circuit state on teardown: the forward
+// sender's timers stop (their events return to the clock's free list),
+// its never-transmitted packetization cells — the bulk of an aborted
+// transfer's backlog — go back to the cell pool, the download receiver
+// shuts down, and frames still in flight from the fabric are dropped
+// silently. The port stays attached; a rebuilt circuit uses fresh node
+// IDs.
+func (s *Source) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.onDownload = nil
+	pool := s.cells
+	s.sender.Close(func(c *cell.Cell) { pool.Put(c) })
+	s.drecv.Close()
+}
+
+// Closed reports whether the source has been torn down.
+func (s *Source) Closed() bool { return s.closed }
+
 // ID returns the source's node ID.
 func (s *Source) ID() netem.NodeID { return s.id }
 
@@ -129,6 +152,9 @@ func (s *Source) Port() *netem.Port { return s.port }
 func (s *Source) Send(size units.DataSize) int {
 	if size <= 0 {
 		panic(fmt.Sprintf("endpoint: Send(%v)", size))
+	}
+	if s.closed {
+		panic("endpoint: Send on a closed source")
 	}
 	s.queuedBytes += size
 	remaining := size.Bytes()
@@ -162,6 +188,9 @@ func CellsFor(size units.DataSize) int {
 // deliver handles segments arriving from the first relay: control for
 // the forward sender, data for the download receiver.
 func (s *Source) deliver(f *netem.Frame) {
+	if s.closed {
+		return // circuit torn down; absorb in-flight frames
+	}
 	seg, ok := f.Payload.(transport.Segment)
 	if !ok || f.Src != s.first {
 		panic(fmt.Sprintf("source %s: unexpected frame from %s", s.id, f.Src))
@@ -213,6 +242,8 @@ type Sink struct {
 	bsender *transport.Sender
 
 	cellPool *cell.Pool // optional recycling with the far endpoint
+
+	closed bool
 }
 
 // NewSink attaches a sink node to the fabric, receiving from exit.
@@ -256,6 +287,9 @@ func (k *Sink) SendBackward(size units.DataSize) int {
 	if size <= 0 {
 		panic(fmt.Sprintf("endpoint: SendBackward(%v)", size))
 	}
+	if k.closed {
+		panic("endpoint: SendBackward on a closed sink")
+	}
 	remaining := size.Bytes()
 	buf := make([]byte, cell.MaxRelayData)
 	cells := 0
@@ -285,6 +319,24 @@ func sendSegment(p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
 	}
 	return p.SendPriority(dst, seg.WireSize(), seg)
 }
+
+// Close releases the sink's circuit state on teardown: the backward
+// sender's timers stop, its never-transmitted packetization cells go
+// back to the cell pool, the forward receiver shuts down, and frames
+// still in flight from the fabric are dropped silently.
+func (k *Sink) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.onComplete = nil
+	pool := k.cellPool
+	k.bsender.Close(func(c *cell.Cell) { pool.Put(c) })
+	k.recv.Close()
+}
+
+// Closed reports whether the sink has been torn down.
+func (k *Sink) Closed() bool { return k.closed }
 
 // ID returns the sink's node ID.
 func (k *Sink) ID() netem.NodeID { return k.id }
@@ -331,6 +383,9 @@ func (k *Sink) consume(c *cell.Cell) {
 // deliver handles frames from the exit relay: forward data to the
 // receiver, backward control to the server-side sender.
 func (k *Sink) deliver(f *netem.Frame) {
+	if k.closed {
+		return // circuit torn down; absorb in-flight frames
+	}
 	seg, ok := f.Payload.(transport.Segment)
 	if !ok || f.Src != k.exit {
 		panic(fmt.Sprintf("sink %s: unexpected frame from %s", k.id, f.Src))

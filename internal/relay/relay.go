@@ -23,6 +23,7 @@ type Stats struct {
 	Corrupt        uint64 // recognized cells failing digest verification
 	UnknownCircuit uint64 // frames for circuits this relay doesn't carry
 	UnknownSource  uint64 // frames from nodes that are neither pred nor succ
+	FailedDrops    uint64 // frames blackholed while the relay was failed
 }
 
 // hop is one circuit's state at this relay: an independent transport
@@ -47,11 +48,12 @@ type hop struct {
 // netem.Fabric (star or routed backbone — the relay is topology-blind),
 // then add one forward hop per circuit passing through it.
 type Relay struct {
-	id    netem.NodeID
-	clock *sim.Clock
-	port  *netem.Port
-	hops  map[cell.CircID]*hop
-	stats Stats
+	id     netem.NodeID
+	clock  *sim.Clock
+	port   *netem.Port
+	hops   map[cell.CircID]*hop
+	stats  Stats
+	failed bool
 }
 
 // New creates a relay and attaches it to the fabric.
@@ -74,6 +76,24 @@ func (r *Relay) Port() *netem.Port { return r.port }
 
 // Stats returns a snapshot of the relay counters.
 func (r *Relay) Stats() Stats { return r.stats }
+
+// Fail takes the relay out of service: every frame delivered to it —
+// data, ACKs, feedback, for any circuit — is blackholed (counted in
+// Stats.FailedDrops) until Recover. Circuits crossing a failed relay
+// stall on retransmission timers; a churn engine is expected to tear
+// them down (and possibly rebuild them over a different path).
+func (r *Relay) Fail() { r.failed = true }
+
+// Recover puts a failed relay back in service. Per-circuit hop state
+// torn down while it was failed is gone; new circuits may be built
+// through it again.
+func (r *Relay) Recover() { r.failed = false }
+
+// Failed reports whether the relay is currently out of service.
+func (r *Relay) Failed() bool { return r.failed }
+
+// Circuits returns the number of circuits currently crossing the relay.
+func (r *Relay) Circuits() int { return len(r.hops) }
 
 // HopSender returns the onward transport sender for a circuit, or nil.
 // Experiments use it to observe per-relay window traces (the emergent
@@ -172,6 +192,27 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	r.hops[circ] = h
 }
 
+// RemoveHop tears a circuit's state out of the relay, in both
+// directions: all four transport instances are closed (their timers'
+// events return to the clock's free list), queued cells are dropped for
+// the collector (cells at a relay are aliased by neighbouring hops'
+// retransmission state, so they must not be recycled here — see
+// DESIGN.md, "Teardown ownership"), and later frames for the circuit
+// are absorbed by the UnknownCircuit counter. It reports whether the
+// circuit was present.
+func (r *Relay) RemoveHop(circ cell.CircID) bool {
+	h := r.hops[circ]
+	if h == nil {
+		return false
+	}
+	h.send.Close(nil)
+	h.bsend.Close(nil)
+	h.recv.Close()
+	h.brecv.Close()
+	delete(r.hops, circ)
+	return true
+}
+
 // sendSegment transmits a hop segment, giving control segments (ACK,
 // FEEDBACK, PROBE) link priority so congestion feedback is not delayed
 // by the data queues it describes.
@@ -226,6 +267,10 @@ func looksRecognized(hdr cell.RelayHeader) bool {
 // deliver demultiplexes frames from the network to the right hop and
 // direction.
 func (r *Relay) deliver(f *netem.Frame) {
+	if r.failed {
+		r.stats.FailedDrops++
+		return
+	}
 	seg, ok := f.Payload.(transport.Segment)
 	if !ok {
 		panic(fmt.Sprintf("relay %s: non-segment frame from %s", r.id, f.Src))

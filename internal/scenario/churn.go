@@ -1,0 +1,470 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"circuitstart/internal/core"
+	"circuitstart/internal/directory"
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+	"circuitstart/internal/workload"
+)
+
+// CircuitEvents configures circuit-level churn: instead of a fixed set
+// of circuits living forever, circuits become dynamic entities — new
+// downloads arrive over freshly built circuits mid-run, completed
+// circuits are torn down (their cell and timer state released back to
+// the pools), and initial circuits can be killed on a schedule. The
+// zero value disables churn and preserves the static execution path
+// byte for byte.
+type CircuitEvents struct {
+	// ArrivalRate, when positive, adds an open-loop Poisson process of
+	// new downloads (mean arrivals per second, stream
+	// "scenario-churn"): at each arrival a fresh circuit is built — its
+	// path sampled bandwidth-weighted from the consensus on generated
+	// topologies (excluding currently-failed relays), or cycling
+	// Circuits.Paths on explicit ones — and a TransferSize download
+	// starts immediately.
+	ArrivalRate float64
+	// Arrivals bounds the Poisson process (required with ArrivalRate).
+	Arrivals int
+	// TeardownDelay is how long a completed download's circuit lingers
+	// before teardown (0 = torn down at the completion instant). With
+	// churn active this applies to every download, initial or arrived.
+	// Setting it alone (no arrivals, no scheduled teardowns) still
+	// enables the lifecycle engine: every circuit is torn down after
+	// its download completes.
+	TeardownDelay time.Duration
+	// Teardowns schedules hard teardowns of initial circuits: the
+	// circuit is closed at the given instant regardless of transfer
+	// progress, and an unfinished download is recorded as aborted.
+	Teardowns []TeardownEvent
+}
+
+// enabled reports whether any circuit-level churn is configured.
+func (ce CircuitEvents) enabled() bool {
+	return ce.ArrivalRate > 0 || len(ce.Teardowns) > 0 || ce.TeardownDelay > 0
+}
+
+// TeardownEvent schedules the teardown of one initial circuit.
+type TeardownEvent struct {
+	// At is the teardown instant.
+	At sim.Time
+	// Index names the initial circuit (0 ≤ Index < Circuits.Count).
+	Index int
+}
+
+// RelayEventKind selects a relay churn action.
+type RelayEventKind int
+
+const (
+	// RelayFail takes the relay out of service: it blackholes every
+	// frame until recovery. Circuits crossing it at that instant are
+	// torn down; arms with Rebuild set rebuild them over a fresh path.
+	RelayFail RelayEventKind = iota
+	// RelayRecover puts a failed relay back in service; new circuits
+	// may be built through it again.
+	RelayRecover
+)
+
+// RelayEvent schedules a relay failure or recovery.
+type RelayEvent struct {
+	At    sim.Time
+	Relay netem.NodeID
+	Kind  RelayEventKind
+}
+
+// hasChurn reports whether the scenario exercises the dynamic circuit
+// lifecycle at all. When false, trials run the exact pre-churn
+// execution path, preserving seeded outputs byte for byte.
+func (sc *Scenario) hasChurn() bool {
+	return sc.CircuitEvents.enabled() || len(sc.RelayEvents) > 0
+}
+
+// validateChurn checks the churn-specific scenario fields. Called from
+// validate once the topology fields are known-good.
+func (sc *Scenario) validateChurn() error {
+	ce := sc.CircuitEvents
+	if ce.ArrivalRate < 0 || ce.Arrivals < 0 {
+		return fmt.Errorf("scenario: negative churn arrival configuration")
+	}
+	if (ce.ArrivalRate > 0) != (ce.Arrivals > 0) {
+		return fmt.Errorf("scenario: churn arrivals need both ArrivalRate and Arrivals")
+	}
+	if ce.TeardownDelay < 0 {
+		return fmt.Errorf("scenario: negative teardown delay")
+	}
+	for i, td := range ce.Teardowns {
+		if td.At <= 0 {
+			return fmt.Errorf("scenario: teardown %d at %v", i, td.At)
+		}
+		if td.Index < 0 || td.Index >= sc.Circuits.Count {
+			return fmt.Errorf("scenario: teardown %d names circuit %d of %d", i, td.Index, sc.Circuits.Count)
+		}
+	}
+	relayKnown := sc.relayIDSet()
+	for i, ev := range sc.RelayEvents {
+		if ev.At <= 0 {
+			return fmt.Errorf("scenario: relay event %d at %v", i, ev.At)
+		}
+		if ev.Kind != RelayFail && ev.Kind != RelayRecover {
+			return fmt.Errorf("scenario: relay event %d has unknown kind %d", i, ev.Kind)
+		}
+		if !relayKnown[ev.Relay] {
+			return fmt.Errorf("scenario: relay event %d names unknown relay %q", i, ev.Relay)
+		}
+	}
+	for i, a := range sc.Arms {
+		if a.Rebuild && sc.Topology.Population == nil {
+			return fmt.Errorf("scenario: arm %d (%q) sets Rebuild, which needs a generated Population consensus", i, a.Name)
+		}
+	}
+	return nil
+}
+
+// relayIDSet returns the set of relay IDs the topology will contain —
+// explicit IDs, or the deterministic names of the generated population.
+func (sc *Scenario) relayIDSet() map[netem.NodeID]bool {
+	out := make(map[netem.NodeID]bool)
+	for _, r := range sc.Topology.Relays {
+		out[r.ID] = true
+	}
+	if p := sc.Topology.Population; p != nil {
+		for i := 0; i < p.N; i++ {
+			out[workload.RelayID(i)] = true
+		}
+	}
+	return out
+}
+
+// download is one logical transfer tracked by the churn engine. A
+// download survives circuit rebuilds: when a relay failure kills its
+// circuit, a Rebuild arm gives it a fresh circuit and restarts the
+// transfer, and the download's TTLB spans first start to final
+// completion — so repeated startups show up in the distribution.
+type download struct {
+	index   int
+	circuit *core.Circuit
+	startAt sim.Time // first transfer start
+	started bool
+	done    bool
+	aborted bool
+	ttlb    time.Duration
+	rebuild int
+}
+
+// churnEngine drives one trial's dynamic circuit lifecycle on a single
+// network/clock, so everything it does is deterministic regardless of
+// the worker pool running the trial.
+type churnEngine struct {
+	sc     Scenario
+	arm    Arm
+	n      *core.Network
+	cons   *directory.Consensus // nil on explicit topologies
+	access netem.AccessConfig
+	seed   int64
+
+	pathRNG   *sim.RNG // churn-arrival and rebuild path sampling
+	downloads []*download
+	failed    map[netem.NodeID]bool
+	churn     ChurnStats
+}
+
+// runChurn executes one trial with the dynamic circuit lifecycle:
+// initial circuits start per the arrival process exactly as in the
+// static path (same RNG streams), then churn arrivals, scheduled
+// teardowns and relay failure/recovery play out on the trial's clock.
+func runChurn(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, ChurnStats, error) {
+	e := &churnEngine{
+		sc:      sc,
+		arm:     arm,
+		seed:    seed,
+		pathRNG: sim.NewRNG(seed, "scenario-churn-paths"),
+		failed:  make(map[netem.NodeID]bool),
+	}
+	e.churn.Lifetime = newLifetimeDist(arm.Name)
+
+	var initial []*core.Circuit
+	if sc.Topology.Population != nil {
+		wsc, err := workload.Build(seed, workloadParams(sc, arm))
+		if err != nil {
+			return nil, NetStats{}, ChurnStats{}, err
+		}
+		e.n, e.cons, initial = wsc.Network, wsc.Consensus, wsc.Circuits
+		e.access = wsc.Params.ClientAccess
+	} else {
+		n, circuits, access, err := buildExplicit(sc, arm, seed)
+		if err != nil {
+			return nil, NetStats{}, ChurnStats{}, err
+		}
+		e.n, initial, e.access = n, circuits, access
+	}
+	e.churn.Built += len(initial)
+	scheduleEvents(e.n, sc.Events)
+
+	// Initial downloads follow the scenario's declared arrival process,
+	// drawn from the runner's own streams ("scenario-starts" /
+	// "scenario-arrivals"). Note this is not byte-compatible with the
+	// static generated-population path, whose together/uniform arrivals
+	// go through workload.Scenario.Run and its "workload-starts" stream
+	// — enabling churn is allowed to change the realized start times.
+	delays := arrivalDelays(seed, sc.Circuits, len(initial))
+	for i, c := range initial {
+		d := &download{index: i, circuit: c}
+		e.downloads = append(e.downloads, d)
+		e.scheduleStart(d, delays[i])
+	}
+
+	// Churn arrivals: an independent Poisson stream, so the initial
+	// workload is unchanged by enabling churn.
+	if ce := sc.CircuitEvents; ce.ArrivalRate > 0 {
+		rng := sim.NewRNG(seed, "scenario-churn")
+		var at time.Duration
+		for j := 0; j < ce.Arrivals; j++ {
+			at += time.Duration(rng.Exponential(1/ce.ArrivalRate) * float64(time.Second))
+			d := &download{index: len(e.downloads)}
+			e.downloads = append(e.downloads, d)
+			delay := at
+			e.n.Clock().After(delay, func() { e.arrive(d) })
+		}
+	}
+	for _, td := range sc.CircuitEvents.Teardowns {
+		d := e.downloads[td.Index]
+		e.n.Clock().At(td.At, func() { e.abort(d) })
+	}
+	for _, ev := range sc.RelayEvents {
+		ev := ev
+		e.n.Clock().At(ev.At, func() { e.relayEvent(ev) })
+	}
+
+	// No Stop(): teardown releases every timer, so the queue drains on
+	// its own once the last download finishes (or the horizon cuts a
+	// stalled one off).
+	e.n.RunUntil(sc.Horizon)
+	return e.collect(rep), netStats(e.n), e.churn, nil
+}
+
+// scheduleStart arms download d's first transfer start after delay. A
+// scheduled teardown may kill the circuit before the staggered start
+// arrives (the start is then dropped — the download is already
+// accounted as aborted), and a relay failure may have replaced the
+// circuit with a rebuilt one (the start then proceeds on it).
+func (e *churnEngine) scheduleStart(d *download, delay time.Duration) {
+	start := func() {
+		if d.started || d.aborted || d.circuit.Closed() {
+			return
+		}
+		d.started = true
+		d.startAt = e.n.Now()
+		e.startTransfer(d)
+	}
+	if delay == 0 {
+		start()
+	} else {
+		e.n.Clock().After(delay, start)
+	}
+}
+
+// startTransfer begins (or, after a rebuild, restarts) d's transfer on
+// its current circuit.
+func (e *churnEngine) startTransfer(d *download) {
+	onDone := func(time.Duration) { e.complete(d) }
+	if e.sc.Circuits.Download {
+		d.circuit.TransferBackward(e.sc.Circuits.TransferSize, onDone)
+	} else {
+		d.circuit.Transfer(e.sc.Circuits.TransferSize, onDone)
+	}
+}
+
+// arrive builds a fresh circuit for churn download d and starts it.
+func (e *churnEngine) arrive(d *download) {
+	if !e.buildFresh(d) {
+		return
+	}
+	d.started = true
+	d.startAt = e.n.Now()
+	e.startTransfer(d)
+}
+
+// buildFresh gives download d a freshly built circuit. On a generated
+// topology the path is sampled from the consensus, skipping failed
+// relays; explicit topologies cycle the declared paths (arrival
+// indices run past Count). If no path is currently available (every
+// candidate for some position is down) or the build fails, the
+// download is recorded as aborted and buildFresh reports false.
+func (e *churnEngine) buildFresh(d *download) bool {
+	abort := func() bool {
+		d.aborted = true
+		e.churn.Aborted++
+		return false
+	}
+	var path []netem.NodeID
+	if e.cons != nil {
+		descs, err := e.cons.SelectPathExcluding(e.pathRNG, e.hops(), e.failed)
+		if err != nil {
+			return abort()
+		}
+		path = make([]netem.NodeID, len(descs))
+		for i, dd := range descs {
+			path[i] = dd.ID
+		}
+	} else {
+		path = e.sc.Circuits.path(d.index % len(e.sc.Circuits.Paths))
+	}
+	c, err := e.buildCircuit(d, path)
+	if err != nil {
+		// Building over declared relays cannot fail after validation;
+		// treat a failure as an aborted download rather than a panic.
+		return abort()
+	}
+	d.circuit = c
+	e.churn.Built++
+	return true
+}
+
+// hops returns the sampled path length on generated topologies.
+func (e *churnEngine) hops() int {
+	if e.sc.Circuits.Hops > 0 {
+		return e.sc.Circuits.Hops
+	}
+	return 3
+}
+
+// buildCircuit builds a circuit for download d over the given relay
+// path. Rebuilds get distinct endpoint node IDs (ports cannot be
+// re-attached), marked with the rebuild ordinal.
+func (e *churnEngine) buildCircuit(d *download, path []netem.NodeID) (*core.Circuit, error) {
+	source := fmt.Sprintf("client-%03d", d.index)
+	sink := fmt.Sprintf("server-%03d", d.index)
+	if d.rebuild > 0 {
+		source = fmt.Sprintf("%s.r%d", source, d.rebuild)
+		sink = fmt.Sprintf("%s.r%d", sink, d.rebuild)
+	}
+	return e.n.BuildCircuit(core.CircuitSpec{
+		Source:       netem.NodeID(source),
+		Sink:         netem.NodeID(sink),
+		SourceAccess: e.access,
+		SinkAccess:   e.access,
+		Relays:       path,
+		Transport:    e.arm.Transport,
+		TraceCwnd:    e.sc.Probes.TraceCwnd,
+	})
+}
+
+// complete records download d's completion and schedules its circuit's
+// teardown after the configured linger.
+func (e *churnEngine) complete(d *download) {
+	d.done = true
+	d.ttlb = e.n.Now().Sub(d.startAt)
+	circ := d.circuit
+	if delay := e.sc.CircuitEvents.TeardownDelay; delay > 0 {
+		e.n.Clock().After(delay, func() { e.teardown(circ) })
+	} else {
+		e.teardown(circ)
+	}
+}
+
+// abort tears download d down before completion (a scheduled teardown
+// of an initial circuit).
+func (e *churnEngine) abort(d *download) {
+	if d.done || d.aborted || d.circuit == nil || d.circuit.Closed() {
+		return
+	}
+	d.aborted = true
+	e.churn.Aborted++
+	e.teardown(d.circuit)
+}
+
+// teardown closes a circuit and accounts its lifetime.
+func (e *churnEngine) teardown(c *core.Circuit) {
+	if c.Closed() {
+		return
+	}
+	c.Teardown()
+	e.churn.TornDown++
+	e.churn.Lifetime.Add(c.Lifetime().Seconds())
+}
+
+// relayEvent applies one relay failure or recovery. On failure, every
+// live circuit crossing the relay is torn down; Rebuild arms give the
+// affected downloads fresh circuits over paths that avoid all
+// currently-failed relays and restart their transfers from scratch —
+// each rebuild pays a full startup again.
+func (e *churnEngine) relayEvent(ev RelayEvent) {
+	r := e.n.Relay(ev.Relay)
+	if ev.Kind == RelayRecover {
+		delete(e.failed, ev.Relay)
+		r.Recover()
+		return
+	}
+	if e.failed[ev.Relay] {
+		return
+	}
+	e.failed[ev.Relay] = true
+	r.Fail()
+	for _, d := range e.downloads {
+		if d.done || d.aborted || d.circuit == nil || d.circuit.Closed() {
+			continue
+		}
+		if !crossesRelay(d.circuit, ev.Relay) {
+			continue
+		}
+		e.teardown(d.circuit)
+		if !e.arm.Rebuild || e.cons == nil {
+			d.aborted = true
+			e.churn.Aborted++
+			continue
+		}
+		d.rebuild++
+		if !e.buildFresh(d) {
+			continue
+		}
+		e.churn.Rebuilt++
+		// Restart only a transfer that was actually running; a download
+		// still waiting for its staggered start keeps that schedule and
+		// simply starts on the rebuilt circuit.
+		if d.started {
+			e.startTransfer(d)
+		}
+	}
+}
+
+// crossesRelay reports whether the circuit's path contains the relay.
+func crossesRelay(c *core.Circuit, id netem.NodeID) bool {
+	for _, r := range c.Relays() {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// collect renders the engine's downloads into outcomes, in download
+// index order. Circuits still alive at the horizon are torn down here
+// so their lifetimes and pooled state are accounted too.
+func (e *churnEngine) collect(rep int) []CircuitOutcome {
+	out := make([]CircuitOutcome, len(e.downloads))
+	for i, d := range e.downloads {
+		o := CircuitOutcome{
+			Replication: rep,
+			Index:       i,
+			TTLB:        d.ttlb,
+			Done:        d.done,
+			Aborted:     d.aborted,
+			StartAt:     d.startAt,
+			Rebuilds:    d.rebuild,
+		}
+		if d.circuit != nil {
+			e.teardown(d.circuit)
+			o.OptimalCells = d.circuit.ModelPath().OptimalSourceWindowCells()
+			st := d.circuit.SourceSender().Stats()
+			o.ExitCwnd, o.ExitTime, o.Restarts = st.ExitCwnd, st.ExitTime, st.Restarts
+			if e.sc.Probes.TraceCwnd {
+				o.Trace = d.circuit.SourceTrace()
+			}
+		}
+		out[i] = o
+	}
+	return out
+}

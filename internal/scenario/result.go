@@ -51,14 +51,65 @@ func (s *NetStats) merge(o NetStats) {
 	}
 }
 
-// CircuitOutcome is one circuit's outcome in one trial.
+// ChurnStats aggregates one arm's circuit-lifecycle activity. It is
+// populated only by scenarios with churn configured (CircuitEvents or
+// RelayEvents); static scenarios leave it zero with a nil Lifetime, so
+// their rendered output is unchanged.
+type ChurnStats struct {
+	// Built counts circuits built: initial, churn arrivals, rebuilds.
+	Built int
+	// TornDown counts circuits torn down (state released to the pools).
+	TornDown int
+	// Rebuilt counts circuits rebuilt after a relay failure.
+	Rebuilt int
+	// Aborted counts downloads torn down before completing (scheduled
+	// teardowns, or relay failures on arms without Rebuild).
+	Aborted int
+	// Lifetime pools the lifetime in seconds of every torn-down
+	// circuit across replications.
+	Lifetime *metrics.Distribution
+}
+
+// merge pools another trial's churn accounting into s.
+func (s *ChurnStats) merge(o ChurnStats) {
+	s.Built += o.Built
+	s.TornDown += o.TornDown
+	s.Rebuilt += o.Rebuilt
+	s.Aborted += o.Aborted
+	if s.Lifetime != nil && o.Lifetime != nil {
+		for _, v := range o.Lifetime.Sorted() {
+			s.Lifetime.Add(v)
+		}
+	}
+}
+
+// newLifetimeDist names an arm's pooled circuit-lifetime distribution.
+func newLifetimeDist(arm string) *metrics.Distribution {
+	return metrics.NewDistribution("lifetime_" + arm)
+}
+
+// CircuitOutcome is one circuit's outcome in one trial. In churn
+// scenarios an entry is one logical download, which may span several
+// circuits (rebuilds after relay failures).
 type CircuitOutcome struct {
 	// Replication and Index locate the circuit in the expansion.
 	Replication, Index int
-	// TTLB is the transfer's time-to-last-byte (valid when Done).
+	// TTLB is the transfer's time-to-last-byte (valid when Done). A
+	// rebuilt download's TTLB spans its first start to its final
+	// completion, so every repeated startup it paid is included.
 	TTLB time.Duration
 	// Done reports whether the transfer completed within the horizon.
 	Done bool
+	// Aborted reports the download was torn down before completing
+	// (churn scenarios only). Aborted downloads are counted in
+	// ChurnStats.Aborted, not in ArmResult.Incomplete.
+	Aborted bool
+	// StartAt is when the download first started (churn scenarios
+	// only; zero otherwise).
+	StartAt sim.Time
+	// Rebuilds counts the download's circuit rebuilds after relay
+	// failures (churn scenarios only).
+	Rebuilds int
 	// Trace is the source's cwnd series in cells (nil unless
 	// Probes.TraceCwnd was set).
 	Trace *metrics.Series
@@ -86,6 +137,9 @@ type ArmResult struct {
 	// Net pools the arm's fabric accounting (drop counters, per-trunk
 	// link stats) across replications.
 	Net NetStats
+	// Churn pools the arm's circuit-lifecycle accounting (zero, with a
+	// nil Lifetime, on scenarios without churn).
+	Churn ChurnStats
 }
 
 // Result is the aggregated outcome of a Runner.Run.
@@ -127,7 +181,8 @@ func (r *Result) Summaries() []metrics.Summary {
 	return out
 }
 
-// WriteText renders the per-arm summary table, any fabric drop counters
+// WriteText renders the per-arm summary table, the circuit-lifecycle
+// table when the scenario ran with churn, any fabric drop counters
 // (always shown when non-zero — a silent blackhole must not look like a
 // slow network), and the per-trunk link stats when the scenario ran on
 // a routed backbone.
@@ -137,6 +192,9 @@ func (r *Result) WriteText(w io.Writer) error {
 		dists[i] = r.Arms[i].TTLB
 	}
 	if err := traceio.WriteSummaryTable(w, dists...); err != nil {
+		return err
+	}
+	if err := r.writeChurn(w); err != nil {
 		return err
 	}
 	for i := range r.Arms {
@@ -164,6 +222,31 @@ func (r *Result) WriteText(w io.Writer) error {
 			tbl.AddRowf(arm.Name, ts.Name, ts.Stats.Delivered, ts.Stats.BytesOut.String(),
 				ts.Stats.TailDrops, ts.Stats.RandomLoss, ts.Stats.MaxQueueLen, ts.Stats.QueueDelay.String())
 		}
+	}
+	return tbl.WriteText(w)
+}
+
+// writeChurn renders the per-arm circuit-lifecycle table. Scenarios
+// without churn have nil Lifetime distributions and emit nothing, so
+// pre-churn outputs are unchanged byte for byte.
+func (r *Result) writeChurn(w io.Writer) error {
+	hasChurn := false
+	for i := range r.Arms {
+		if r.Arms[i].Churn.Lifetime != nil {
+			hasChurn = true
+		}
+	}
+	if !hasChurn {
+		return nil
+	}
+	tbl := traceio.NewTable("arm", "built", "torn_down", "rebuilt", "aborted", "median_life_s")
+	for i := range r.Arms {
+		c := &r.Arms[i].Churn
+		life := "-"
+		if c.Lifetime != nil && c.Lifetime.Len() > 0 {
+			life = fmt.Sprintf("%.3f", c.Lifetime.Median())
+		}
+		tbl.AddRowf(r.Arms[i].Name, c.Built, c.TornDown, c.Rebuilt, c.Aborted, life)
 	}
 	return tbl.WriteText(w)
 }

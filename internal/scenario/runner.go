@@ -33,6 +33,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 	trials := sc.Replications * len(sc.Arms)
 	outs := make([][]CircuitOutcome, trials)
 	nets := make([]NetStats, trials)
+	churns := make([]ChurnStats, trials)
 	errs := make([]error, trials)
 
 	workers := r.Workers
@@ -54,7 +55,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 					return
 				}
 				rep, arm := i/len(sc.Arms), i%len(sc.Arms)
-				outs[i], nets[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep)
+				outs[i], nets[i], churns[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep)
 			}
 		}()
 	}
@@ -68,18 +69,26 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 	res := &Result{Scenario: sc, Arms: make([]ArmResult, len(sc.Arms))}
 	for i, a := range sc.Arms {
 		res.Arms[i] = ArmResult{Name: a.Name, TTLB: metrics.NewDistribution("ttlb_" + a.Name)}
+		if sc.hasChurn() {
+			res.Arms[i].Churn.Lifetime = newLifetimeDist(a.Name)
+		}
 	}
 	for i := 0; i < trials; i++ {
 		arm := &res.Arms[i%len(sc.Arms)]
 		for _, o := range outs[i] {
 			arm.Circuits = append(arm.Circuits, o)
-			if o.Done {
+			switch {
+			case o.Done:
 				arm.TTLB.Add(o.TTLB.Seconds())
-			} else {
+			case o.Aborted:
+				// Counted in Churn.Aborted, not Incomplete: the
+				// teardown was deliberate, not a stalled transfer.
+			default:
 				arm.Incomplete++
 			}
 		}
 		arm.Net.merge(nets[i])
+		arm.Churn.merge(churns[i])
 	}
 	return res, nil
 }
@@ -101,22 +110,27 @@ func trialSeed(seed int64, rep int) int64 {
 
 // runTrial executes one (arm, replication) pair on its own network. A
 // panic in the simulator is converted into an error so one bad trial
-// fails the run cleanly instead of killing the worker pool.
-func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, net NetStats, err error) {
+// fails the run cleanly instead of killing the worker pool. Scenarios
+// with churn run the dynamic-lifecycle engine; everything else takes
+// the original static path, unchanged byte for byte.
+func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, net NetStats, churn ChurnStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("scenario: arm %q rep %d panicked: %v", arm.Name, rep, p)
 		}
 	}()
-	if sc.Topology.Population != nil {
+	switch {
+	case sc.hasChurn():
+		out, net, churn, err = runChurn(sc, arm, seed, rep)
+	case sc.Topology.Population != nil:
 		out, net, err = runGenerated(sc, arm, seed, rep)
-	} else {
+	default:
 		out, net, err = runExplicit(sc, arm, seed, rep)
 	}
 	if err != nil {
 		err = fmt.Errorf("scenario: arm %q rep %d: %w", arm.Name, rep, err)
 	}
-	return out, net, err
+	return out, net, churn, err
 }
 
 // netStats snapshots the fabric accounting after a trial has run.
@@ -152,16 +166,14 @@ func scheduleEvents(n *core.Network, events []LinkEvent) {
 	}
 }
 
-// runGenerated executes one trial over a generated relay population via
-// the workload package. Together/uniform arrivals go through
-// workload.Scenario.Run — the exact execution path of the pre-scenario
-// experiments, preserving their seeded outputs bit for bit.
-func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
+// workloadParams renders the scenario's generated-topology trial into
+// workload.ScenarioParams (shared by the static and churn paths).
+func workloadParams(sc Scenario, arm Arm) workload.ScenarioParams {
 	var spread time.Duration
 	if sc.Circuits.Arrival.Kind == ArriveUniform {
 		spread = sc.Circuits.Arrival.Spread
 	}
-	wsc, err := workload.Build(seed, workload.ScenarioParams{
+	return workload.ScenarioParams{
 		Relays:         *sc.Topology.Population,
 		Circuits:       sc.Circuits.Count,
 		HopsPerCircuit: sc.Circuits.Hops,
@@ -172,7 +184,15 @@ func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, 
 		Download:       sc.Circuits.Download,
 		TraceCwnd:      sc.Probes.TraceCwnd,
 		Fabric:         sc.Topology.Fabric,
-	})
+	}
+}
+
+// runGenerated executes one trial over a generated relay population via
+// the workload package. Together/uniform arrivals go through
+// workload.Scenario.Run — the exact execution path of the pre-scenario
+// experiments, preserving their seeded outputs bit for bit.
+func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
+	wsc, err := workload.Build(seed, workloadParams(sc, arm))
 	if err != nil {
 		return nil, NetStats{}, err
 	}
@@ -185,10 +205,12 @@ func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, 
 	return collect(wsc.Circuits, rep, sc.Probes.TraceCwnd), netStats(wsc.Network), nil
 }
 
-// runExplicit executes one trial over an explicit topology: attach the
-// listed relays in order, schedule link events, build each circuit
-// along its declared path, and run the transfers.
-func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
+// buildExplicit constructs one trial's network over an explicit
+// topology: attach the listed relays in order and build each circuit
+// along its declared path. It returns the (defaults-filled) client
+// access so churn arrivals attach identically. Shared by the static
+// and churn paths.
+func buildExplicit(sc Scenario, arm Arm, seed int64) (*core.Network, []*core.Circuit, netem.AccessConfig, error) {
 	var n *core.Network
 	if spec := sc.Topology.Fabric; spec != nil {
 		fs := *spec
@@ -200,10 +222,9 @@ func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, N
 	}
 	for _, r := range sc.Topology.Relays {
 		if _, err := n.AddRelay(r.ID, r.Access); err != nil {
-			return nil, NetStats{}, err
+			return nil, nil, netem.AccessConfig{}, err
 		}
 	}
-	scheduleEvents(n, sc.Events)
 	access := sc.ClientAccess
 	if access.UpRate == 0 {
 		access = netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0)
@@ -225,10 +246,22 @@ func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, N
 			TraceCwnd:    sc.Probes.TraceCwnd,
 		})
 		if err != nil {
-			return nil, NetStats{}, fmt.Errorf("circuit %d: %w", i, err)
+			return nil, nil, netem.AccessConfig{}, fmt.Errorf("circuit %d: %w", i, err)
 		}
 		circuits[i] = c
 	}
+	return n, circuits, access, nil
+}
+
+// runExplicit executes one trial over an explicit topology: attach the
+// listed relays in order, schedule link events, build each circuit
+// along its declared path, and run the transfers.
+func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
+	n, circuits, _, err := buildExplicit(sc, arm, seed)
+	if err != nil {
+		return nil, NetStats{}, err
+	}
+	scheduleEvents(n, sc.Events)
 	runTransfers(n, circuits, sc.Circuits, seed, sc.Horizon, sc.RunFullHorizon)
 	return collect(circuits, rep, sc.Probes.TraceCwnd), netStats(n), nil
 }

@@ -7,7 +7,12 @@
 // Every figure and ablation of the paper is expressible as a Scenario
 // (package experiments builds exactly those), but the API composes
 // beyond them: arbitrary policy arms, explicit or generated topologies,
-// Poisson arrivals, capacity-step events and replicated runs.
+// Poisson arrivals, capacity-step events and replicated runs. Circuits
+// are dynamic entities — CircuitEvents adds churn (downloads arriving
+// over fresh circuits, teardown of completed ones) and RelayEvents
+// schedules relay failures/recoveries with per-arm rebuild policies —
+// while zero-valued churn fields preserve the static execution path
+// byte for byte.
 //
 // Determinism is a hard guarantee: each trial builds its own
 // core.Network from a seed-derived substream and the aggregation order
@@ -105,6 +110,12 @@ type Arm struct {
 	Name string
 	// Transport configures every circuit hop under this arm.
 	Transport core.TransportOptions
+	// Rebuild, in scenarios with RelayEvents, rebuilds a circuit that
+	// lost a relay to failure: a fresh path is sampled from the
+	// consensus (avoiding failed relays) and the download restarts from
+	// scratch — paying a full circuit startup again. Requires a
+	// generated Population topology.
+	Rebuild bool
 }
 
 // Probes selects per-circuit instrumentation.
@@ -163,6 +174,15 @@ type Scenario struct {
 	// Events schedules mid-run link-capacity changes (explicit
 	// topologies only).
 	Events []LinkEvent
+	// CircuitEvents configures circuit churn: Poisson arrivals of new
+	// downloads over fresh circuits, teardown of completed circuits,
+	// and scheduled teardowns of initial circuits. The zero value keeps
+	// the static all-circuits-at-t=0-forever execution path.
+	CircuitEvents CircuitEvents
+	// RelayEvents schedules relay failures and recoveries. Circuits
+	// crossing a failed relay are torn down at the failure instant;
+	// arms with Rebuild set give the affected downloads fresh circuits.
+	RelayEvents []RelayEvent
 	// Probes selects instrumentation.
 	Probes Probes
 }
@@ -290,7 +310,7 @@ func (sc *Scenario) validate() error {
 	if sc.Circuits.Count <= 0 {
 		return fmt.Errorf("scenario: %d circuits", sc.Circuits.Count)
 	}
-	return nil
+	return sc.validateChurn()
 }
 
 // path returns circuit i's relay sequence on an explicit topology.

@@ -62,7 +62,9 @@ func assertResultsIdentical(t *testing.T, a, b *Result) {
 			if ao.Replication != bo.Replication || ao.Index != bo.Index ||
 				ao.TTLB != bo.TTLB || ao.Done != bo.Done ||
 				ao.ExitCwnd != bo.ExitCwnd || ao.ExitTime != bo.ExitTime ||
-				ao.Restarts != bo.Restarts || ao.OptimalCells != bo.OptimalCells {
+				ao.Restarts != bo.Restarts || ao.OptimalCells != bo.OptimalCells ||
+				ao.Aborted != bo.Aborted || ao.StartAt != bo.StartAt ||
+				ao.Rebuilds != bo.Rebuilds {
 				t.Fatalf("arm %q outcome %d differs: %+v vs %+v", aa.Name, j, ao, bo)
 			}
 		}

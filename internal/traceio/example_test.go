@@ -1,0 +1,39 @@
+package traceio_test
+
+import (
+	"os"
+
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/traceio"
+)
+
+// Aligned text tables, as every circuitsim subcommand prints them.
+func ExampleTable() {
+	tbl := traceio.NewTable("arm", "median_s", "p90_s")
+	tbl.AddRowf("circuitstart", 1.694, 2.681)
+	tbl.AddRowf("backtap", 1.881, 2.595)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// arm           median_s  p90_s
+	// circuitstart  1.694     2.681
+	// backtap       1.881     2.595
+}
+
+// CSV CDFs, directly loadable by gnuplot, pandas or R.
+func ExampleWriteCDFCSV() {
+	with := metrics.NewDistribution("ttlb_with")
+	without := metrics.NewDistribution("ttlb_without")
+	for _, v := range []float64{1.0, 2.0} {
+		with.Add(v)
+		without.Add(v + 0.5)
+	}
+	if err := traceio.WriteCDFCSV(os.Stdout, with, without); err != nil {
+		panic(err)
+	}
+	// Output:
+	// ttlb_with,ttlb_with_p,ttlb_without,ttlb_without_p
+	// 1,0.5,1.5,0.5
+	// 2,1,2.5,1
+}

@@ -38,6 +38,8 @@ type Receiver struct {
 	feedbackSent uint64 // highest count actually signalled upstream
 
 	stats ReceiverStats
+
+	closed bool
 }
 
 // NewReceiver creates a hop receiver. send transmits ACK/FEEDBACK
@@ -61,6 +63,22 @@ func NewReceiver(circ cell.CircID, send func(Segment) bool, deliver func(*cell.C
 // cumulative count of in-order cells received).
 func (r *Receiver) Expected() uint64 { return r.expected }
 
+// Close shuts the receiver down as part of a circuit teardown: the
+// reorder buffer is dropped (its cells may alias the upstream sender's
+// retransmission state, so they are abandoned to the collector rather
+// than recycled — see DESIGN.md, "Teardown ownership") and every
+// subsequent handler call is a no-op.
+func (r *Receiver) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.buffer = nil
+}
+
+// Closed reports whether the receiver has been shut down.
+func (r *Receiver) Closed() bool { return r.closed }
+
 // Stats returns a snapshot of the counters.
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
 
@@ -69,6 +87,9 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 func (r *Receiver) HandleData(seq uint64, c *cell.Cell) {
 	if c == nil {
 		panic("transport: HandleData with nil cell")
+	}
+	if r.closed {
+		return
 	}
 	r.stats.Received++
 	switch {
@@ -107,6 +128,9 @@ func (r *Receiver) deliverCell(c *cell.Cell) {
 // cumulative reception and forwarding reports. Probes heal lost tail
 // ACK/FEEDBACK segments, which are otherwise never retransmitted.
 func (r *Receiver) HandleProbe() {
+	if r.closed {
+		return
+	}
 	r.stats.AcksSent++
 	r.send(Segment{Kind: KindAck, Circ: r.circ, Count: r.expected})
 	if r.forwarded > 0 {
@@ -119,6 +143,9 @@ func (r *Receiver) HandleProbe() {
 // this hop onward (cumulative). New progress is signalled upstream as a
 // FEEDBACK segment.
 func (r *Receiver) NotifyForwarded(count uint64) {
+	if r.closed {
+		return
+	}
 	if count > r.expected {
 		panic(fmt.Sprintf("transport: forwarded %d cells but only %d delivered", count, r.expected))
 	}

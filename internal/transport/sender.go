@@ -214,6 +214,8 @@ type Sender struct {
 	probeTimer   *sim.Timer
 	probeBackoff time.Duration
 	stats        SenderStats
+
+	closed bool
 }
 
 // NewSender validates cfg and creates a sender.
@@ -263,6 +265,44 @@ func NewSender(cfg Config) *Sender {
 	s.notifyCwnd()
 	return s
 }
+
+// Close shuts the sender down as part of a circuit teardown. All three
+// timers are stopped, which returns their events to the clock's free
+// list immediately; cells still waiting for their first transmission
+// are handed to release one by one; and every subsequent handler call
+// is a no-op, so segments already in flight when the circuit died are
+// absorbed silently.
+//
+// release is non-nil only at the hop that originated the cells (the
+// source's forward sender, the sink's backward sender), where a
+// never-transmitted cell has exactly one owner and may be recycled to
+// the endpoint's pool. Relay senders pass nil: a transmitted cell is
+// retained here AND referenced by the upstream hop until the in-flight
+// ACK lands, so recycling relay-held cells could hand one cell to two
+// circuits. See DESIGN.md, "Teardown ownership".
+func (s *Sender) Close(release func(*cell.Cell)) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.rtoTimer.Stop()
+	s.probeTimer.Stop()
+	s.exitTimer.Stop()
+	for i, c := range s.queue {
+		if release != nil {
+			release(c)
+		}
+		s.queue[i] = nil
+	}
+	s.queue = nil
+	s.retain = nil
+	s.sendTime = nil
+	s.rtx = nil
+	s.exitSpacings = nil
+}
+
+// Closed reports whether the sender has been shut down.
+func (s *Sender) Closed() bool { return s.closed }
 
 // --- accessors -------------------------------------------------------
 
@@ -547,6 +587,9 @@ func (s *Sender) Enqueue(c *cell.Cell) {
 	if c == nil {
 		panic("transport: Enqueue(nil)")
 	}
+	if s.closed {
+		panic("transport: Enqueue on a closed sender")
+	}
 	s.queue = append(s.queue, c)
 	s.pump()
 	s.updateProbeTimer()
@@ -666,6 +709,9 @@ func (s *Sender) transmitNext() {
 // HandleAck processes a cumulative reception acknowledgment: count cells
 // have been received in order by the peer.
 func (s *Sender) HandleAck(count uint64) {
+	if s.closed {
+		return
+	}
 	if count > s.nextSeq {
 		panic(fmt.Sprintf("transport: ack count %d beyond transmitted %d", count, s.nextSeq))
 	}
@@ -706,6 +752,9 @@ func (s *Sender) HandleAck(count uint64) {
 // HandleFeedback processes a cumulative feedback report: count cells
 // have been forwarded onward by the peer.
 func (s *Sender) HandleFeedback(count uint64) {
+	if s.closed {
+		return
+	}
 	if count > s.nextSeq {
 		panic(fmt.Sprintf("transport: feedback count %d beyond transmitted %d", count, s.nextSeq))
 	}
@@ -867,6 +916,9 @@ func (s *Sender) onProbe() {
 // expires: retransmit it, back off, and restart the ramp from the
 // initial window (loss means the estimate was wrong).
 func (s *Sender) onRTO() {
+	if s.closed {
+		return
+	}
 	if s.Unacked() == 0 {
 		return
 	}

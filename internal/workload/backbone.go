@@ -126,9 +126,7 @@ func GenerateBackbone(p BackboneParams) (netem.GraphSpec, error) {
 	}
 
 	for i := 0; i < p.Relays.N; i++ {
-		// Must match GenerateRelays' naming.
-		id := netem.NodeID(fmt.Sprintf("relay-%03d", i))
-		spec.Homes[id] = SwitchID(i % p.Switches)
+		spec.Homes[RelayID(i)] = SwitchID(i % p.Switches)
 	}
 	if err := spec.Validate(); err != nil {
 		return netem.GraphSpec{}, err

@@ -67,6 +67,14 @@ type Relay struct {
 	Access netem.AccessConfig
 }
 
+// RelayID returns the deterministic node ID of generated relay i —
+// the single source of the population's naming scheme, used by
+// everything that must refer to a generated relay before the
+// population exists (e.g. scenario relay-event validation).
+func RelayID(i int) netem.NodeID {
+	return netem.NodeID(fmt.Sprintf("relay-%03d", i))
+}
+
 // GenerateRelays samples a relay population from params using the
 // network's seed (stream "workload-relays").
 func GenerateRelays(seed int64, params RelayParams) ([]Relay, error) {
@@ -118,7 +126,7 @@ func GenerateRelays(seed int64, params RelayParams) ([]Relay, error) {
 		if i >= params.N-nExit {
 			flags |= directory.FlagExit
 		}
-		id := netem.NodeID(fmt.Sprintf("relay-%03d", i))
+		id := RelayID(i)
 		relays[i] = Relay{
 			Desc: directory.Descriptor{
 				ID: id, Bandwidth: bw, Latency: delay, Flags: flags,
