@@ -68,6 +68,32 @@
 // again, the regime where the paper's scheme matters most
 // (AblationChurn measures exactly that; see 'circuitsim ablation -name
 // churn' and examples/churn).
+//
+// # Parameter sweeps
+//
+// Where a Scenario describes one experiment, a Sweep describes a whole
+// parameter space: a base Scenario crossed with named Dimensions (γ,
+// policy, transfer size, circuit count, population size, trunk
+// bandwidth, churn rate, or any custom mutation), executed point by
+// point on the parallel runner and streamed into sinks:
+//
+//	tbl, _ := circuitstart.RunSweep(circuitstart.Sweep{
+//		Name: "gamma-surface",
+//		Base: base, // any Scenario
+//		Dimensions: []circuitstart.Dimension{
+//			circuitstart.SweepGamma(1, 4, 16),
+//			circuitstart.SweepTransferSizes(100*circuitstart.Kilobyte, circuitstart.Megabyte),
+//		},
+//	}, circuitstart.NewSweepCSVSink(f))
+//	rows, _ := tbl.Marginal("gamma")
+//
+// Every point clones the base (mutators never alias) and keeps its
+// seed, so differences across the grid are attributable to the
+// dimensions alone, and results are emitted in grid order — output
+// bytes are identical for any worker count. The fixed ablations are
+// point queries on this engine ('circuitsim sweep' runs grids from the
+// command line; examples/sweep sweeps a gamma × bandwidth × hops
+// surface no fixed ablation can express).
 package circuitstart
 
 import (
@@ -78,6 +104,7 @@ import (
 	"circuitstart/internal/netem"
 	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
+	"circuitstart/internal/sweep"
 	"circuitstart/internal/transport"
 	"circuitstart/internal/units"
 	"circuitstart/internal/workload"
@@ -193,6 +220,71 @@ type (
 	CircuitOutcome = scenario.CircuitOutcome
 	// RelayParams shapes a generated relay population.
 	RelayParams = workload.RelayParams
+)
+
+// Parameter-sweep engine: a Sweep crosses a base Scenario with named
+// Dimensions and executes every grid point on the parallel runner,
+// streaming per-point aggregates into sinks. See the package sweep
+// documentation; examples/sweep shows a gamma × bandwidth × hops
+// surface, and 'circuitsim sweep' drives grids from the command line.
+type (
+	// Sweep declares a parameter grid over a base Scenario.
+	Sweep = sweep.Sweep
+	// Dimension is one named axis of a sweep grid.
+	Dimension = sweep.Dimension
+	// DimensionValue is one labelled point on a dimension's axis.
+	DimensionValue = sweep.Value
+	// SweepEngine executes a Sweep across a worker pool, emitting
+	// results in grid order for any worker count.
+	SweepEngine = sweep.Engine
+	// SweepPoint is one expanded grid point.
+	SweepPoint = sweep.Point
+	// SweepPointResult is one executed grid point with its aggregates.
+	SweepPointResult = sweep.PointResult
+	// SweepArmPoint is one arm's compact aggregate at one grid point.
+	SweepArmPoint = sweep.ArmPoint
+	// SweepSink consumes a sweep's results as an ordered stream.
+	SweepSink = sweep.Sink
+	// SweepTable is the in-memory sink with marginal and best-arm
+	// summaries.
+	SweepTable = sweep.Table
+)
+
+// Sweep dimension constructors and sinks.
+var (
+	// RunSweep executes a Sweep with a default engine (one grid point
+	// per CPU).
+	RunSweep = sweep.Run
+	// SweepCustom builds a dimension from explicit labelled mutators.
+	SweepCustom = sweep.Custom
+	// SweepGamma sweeps the start-up exit threshold γ on every arm.
+	SweepGamma = sweep.Gamma
+	// SweepPolicies sweeps the start-up policy on every arm.
+	SweepPolicies = sweep.Policies
+	// SweepCircuits sweeps the concurrent circuit count.
+	SweepCircuits = sweep.Circuits
+	// SweepTransferSizes sweeps the per-circuit transfer size.
+	SweepTransferSizes = sweep.TransferSizes
+	// SweepHops sweeps the sampled path length (generated populations).
+	SweepHops = sweep.Hops
+	// SweepPopulationSizes sweeps the generated relay population size.
+	SweepPopulationSizes = sweep.PopulationSizes
+	// SweepPopulationBandwidths sweeps the population's median rate.
+	SweepPopulationBandwidths = sweep.PopulationBandwidths
+	// SweepRelayRates sweeps one explicit relay's access rate.
+	SweepRelayRates = sweep.RelayRates
+	// SweepTrunkRates sweeps every backbone trunk's rate.
+	SweepTrunkRates = sweep.TrunkRates
+	// SweepTrunkDelays sweeps every backbone trunk's delay.
+	SweepTrunkDelays = sweep.TrunkDelays
+	// SweepChurnRates sweeps the circuit-churn arrival rate.
+	SweepChurnRates = sweep.ChurnRates
+	// SweepSeeds re-runs the grid under independent base seeds.
+	SweepSeeds = sweep.Seeds
+	// NewSweepCSVSink streams sweep rows as CSV.
+	NewSweepCSVSink = sweep.NewCSVSink
+	// NewSweepJSONLSink streams sweep rows as JSON lines.
+	NewSweepJSONLSink = sweep.NewJSONLSink
 )
 
 // Backbone trunk meshes for BackboneParams.Kind.

@@ -5,51 +5,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"testing"
-	"time"
 
 	"circuitstart/internal/benchcases"
 	"circuitstart/internal/traceio"
 )
 
-// benchResult is one benchmark's snapshot in a BENCH_<n>.json file.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// benchSnapshot is the file schema: enough environment to interpret the
-// numbers, plus the headline benchmarks in a fixed order.
-type benchSnapshot struct {
-	Schema     string        `json:"schema"`
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	CPUs       int           `json:"cpus"`
-	Benchmarks []benchResult `json:"benchmarks"`
-}
-
-// headlineBenchmarks are the per-layer microbenchmark bodies shared
-// with the CI-gated test wrappers (see internal/benchcases), so a
-// committed snapshot measures exactly the code the gate guards.
-var headlineBenchmarks = []struct {
-	name string
-	fn   func(b *testing.B)
-}{
-	{"clock_schedule", benchcases.ClockSchedule},
-	{"timer_rearm", benchcases.TimerRearm},
-	{"link_transit", benchcases.LinkTransit},
-	{"star_transit", benchcases.StarTransit},
-	{"onion_wrap", benchcases.OnionWrap},
-	{"onion_unwrap", benchcases.OnionUnwrap},
-	{"single_transfer", benchcases.SingleTransfer},
-}
-
+// runBench measures the headline benchmarks (the shared bodies in
+// internal/benchcases, so a snapshot measures exactly the code the
+// benchcheck CI gate guards) and optionally snapshots them into
+// BENCH_<n>.json.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "snapshot the results into BENCH_<n>.json (next free n)")
@@ -58,26 +22,9 @@ func runBench(args []string) error {
 		return err
 	}
 
-	snap := benchSnapshot{
-		Schema:    "circuitsim-bench/v1",
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-	}
-
+	snap := benchcases.Collect()
 	tbl := traceio.NewTable("benchmark", "ns_op", "B_op", "allocs_op", "iters")
-	for _, hb := range headlineBenchmarks {
-		r := testing.Benchmark(hb.fn)
-		res := benchResult{
-			Name:        hb.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		}
-		snap.Benchmarks = append(snap.Benchmarks, res)
+	for _, res := range snap.Benchmarks {
 		tbl.AddRowf(res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
 	}
 	if err := tbl.WriteText(os.Stdout); err != nil {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
+
+// goldenScenarioArgs is the seeded run whose byte-exact output is
+// committed as testdata/golden_scenario.txt. The CI golden job runs
+// the built binary with these same flags and diffs against the
+// fixture; this test does the equivalent in-process so developers
+// catch drift before pushing. Poisson arrivals, two replications and
+// four workers exercise the seed-substream and aggregation-order
+// machinery, so a determinism break anywhere in the runner shows up
+// here as a byte difference.
+var goldenScenarioArgs = []string{
+	"-circuits", "4", "-relays", "10", "-size", "100000",
+	"-poisson", "40", "-reps", "2", "-workers", "4", "-seed", "42",
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestGoldenScenarioOutput pins the byte-identical-determinism
+// contract: the seeded scenario run must reproduce the committed
+// fixture exactly. If a change legitimately alters seeded outputs
+// (e.g. a new RNG stream), regenerate with:
+//
+//	go run ./cmd/circuitsim scenario -circuits 4 -relays 10 \
+//	  -size 100000 -poisson 40 -reps 2 -workers 4 -seed 42 \
+//	  > cmd/circuitsim/testdata/golden_scenario.txt
+//
+// and call out the determinism break in the change description.
+func TestGoldenScenarioOutput(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_scenario.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureStdout(t, func() error { return runScenario(goldenScenarioArgs) })
+	if got != string(want) {
+		t.Errorf("seeded scenario output drifted from testdata/golden_scenario.txt\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

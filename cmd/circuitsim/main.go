@@ -46,6 +46,7 @@ var commands = []command{
 	{"ablation", "design-choice sweeps: " + strings.Join(ablationNames, ", "), runAblation},
 	{"dynamic", "capacity-step extension (future-work experiment)", runDynamic},
 	{"scenario", "declarative multi-arm sweep on the parallel runner", runScenario},
+	{"sweep", "parameter-grid engine: dimensions × base scenario, streamed to CSV/JSONL", runSweep},
 	{"bench", "headline microbenchmarks; -json snapshots BENCH_<n>.json", runBench},
 }
 

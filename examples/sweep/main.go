@@ -1,0 +1,88 @@
+// Sweep: the fixed ablations as point queries on the general grid
+// engine. First the paper's γ ablation — a hand-written function in
+// package experiments — re-expressed as a one-line 1-D sweep that
+// reproduces its numbers exactly. Then the surface no fixed ablation
+// can express: γ × bottleneck bandwidth × circuit length, 27 scenarios
+// executed on the worker pool with per-point aggregates streamed to
+// CSV, and the in-memory table answering the marginal question the
+// paper's fixed-γ choice rests on: does γ = 4 hold up away from the
+// default operating point?
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"circuitstart"
+)
+
+func main() {
+	// The γ ablation as a grid: one dimension over the same
+	// single-circuit distant-bottleneck trace scenario the fixed
+	// AblationGamma runs on. Same seed, same topology — same numbers.
+	p := circuitstart.DefaultCwndTraceParams(3)
+	base := p.Scenario([]circuitstart.Arm{{Name: "trace"}})
+
+	tbl, err := circuitstart.RunSweep(circuitstart.Sweep{
+		Name:       "gamma",
+		Base:       base,
+		Dimensions: []circuitstart.Dimension{circuitstart.SweepGamma(1, 2, 4, 8, 16)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1-D gamma sweep (== circuitsim ablation -name gamma):")
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The surface: γ × bottleneck bandwidth × hop count. The hops axis
+	// rebuilds the explicit topology per value (a custom dimension),
+	// the bandwidth axis then retunes the bottleneck relay, and γ
+	// mutates the transport — later axes see earlier mutations, so the
+	// order is hops, bandwidth, gamma.
+	hopsDim := circuitstart.Dimension{Name: "hops"}
+	for _, h := range []int{2, 3, 4} {
+		h := h
+		hopsDim.Values = append(hopsDim.Values, circuitstart.DimensionValue{
+			Label: fmt.Sprintf("%d", h),
+			Apply: func(sc *circuitstart.Scenario) error {
+				q := circuitstart.DefaultCwndTraceParams(1) // bottleneck at the first hop
+				q.Hops = h
+				fresh := q.Scenario(nil)
+				sc.Topology = fresh.Topology
+				sc.Circuits.Paths = fresh.Circuits.Paths
+				return nil
+			},
+		})
+	}
+
+	surface := circuitstart.Sweep{
+		Name: "gamma-surface",
+		Base: p.Scenario([]circuitstart.Arm{{Name: "trace"}}),
+		Dimensions: []circuitstart.Dimension{
+			hopsDim,
+			circuitstart.SweepRelayRates("relay-1",
+				circuitstart.Mbps(4), circuitstart.Mbps(16), circuitstart.Mbps(64)),
+			circuitstart.SweepGamma(1, 4, 16),
+		},
+	}
+
+	f, err := os.Create("gamma_surface.csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	stbl, err := circuitstart.RunSweep(surface, circuitstart.NewSweepCSVSink(f))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ngamma × bandwidth × hops surface: %d points (rows in gamma_surface.csv)\n", stbl.Meta.Points)
+	if err := stbl.WriteMarginals(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintln(os.Stderr, "\ntip: 'go run ./cmd/circuitsim sweep -gammas 1,4,16 -bandwidths 4,16,64' runs a grid from the CLI")
+}

@@ -102,6 +102,26 @@ func (gs GraphSpec) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the spec: mutating the copy's switch or
+// trunk lists, or its home map, never aliases the original. Sweep
+// dimensions use this to vary trunk parameters per grid point.
+func (gs GraphSpec) Clone() GraphSpec {
+	out := gs
+	if gs.Switches != nil {
+		out.Switches = append([]SwitchID(nil), gs.Switches...)
+	}
+	if gs.Trunks != nil {
+		out.Trunks = append([]TrunkSpec(nil), gs.Trunks...)
+	}
+	if gs.Homes != nil {
+		out.Homes = make(map[NodeID]SwitchID, len(gs.Homes))
+		for n, s := range gs.Homes {
+			out.Homes[n] = s
+		}
+	}
+	return out
+}
+
 // HasTrunk reports whether the spec declares a trunk between a and b (in
 // either declaration order).
 func (gs GraphSpec) HasTrunk(a, b SwitchID) bool {

@@ -1,0 +1,47 @@
+package scenario
+
+import "circuitstart/internal/netem"
+
+// Clone returns a deep copy of the scenario: mutating the copy (its
+// arms, topology, population, fabric spec, paths or event lists) never
+// aliases the original. This is the mutation hook the sweep engine
+// builds on — every grid point clones the base scenario and applies its
+// dimension mutators to the copy, so points are independent even when
+// they run concurrently.
+//
+// Per-value fields (seed, horizon, probes, …) copy by assignment;
+// reference fields are duplicated below. Distribution pointers never
+// appear in a Scenario (only in Results), so the copy is complete.
+func (sc Scenario) Clone() Scenario {
+	out := sc
+	if sc.Topology.Relays != nil {
+		out.Topology.Relays = append([]RelaySpec(nil), sc.Topology.Relays...)
+	}
+	if sc.Topology.Population != nil {
+		pop := *sc.Topology.Population
+		out.Topology.Population = &pop
+	}
+	if sc.Topology.Fabric != nil {
+		fab := sc.Topology.Fabric.Clone()
+		out.Topology.Fabric = &fab
+	}
+	if sc.Circuits.Paths != nil {
+		out.Circuits.Paths = make([][]netem.NodeID, len(sc.Circuits.Paths))
+		for i, p := range sc.Circuits.Paths {
+			out.Circuits.Paths[i] = append([]netem.NodeID(nil), p...)
+		}
+	}
+	if sc.Arms != nil {
+		out.Arms = append([]Arm(nil), sc.Arms...)
+	}
+	if sc.Events != nil {
+		out.Events = append([]LinkEvent(nil), sc.Events...)
+	}
+	if sc.CircuitEvents.Teardowns != nil {
+		out.CircuitEvents.Teardowns = append([]TeardownEvent(nil), sc.CircuitEvents.Teardowns...)
+	}
+	if sc.RelayEvents != nil {
+		out.RelayEvents = append([]RelayEvent(nil), sc.RelayEvents...)
+	}
+	return out
+}

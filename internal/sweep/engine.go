@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"circuitstart/internal/scenario"
+)
+
+// Engine executes a Sweep: grid points fan out across a worker pool,
+// and completed points are emitted to the sinks in grid order — never
+// in completion order — so sweep output bytes are identical for any
+// Workers value.
+type Engine struct {
+	// Workers is the number of grid points executing concurrently
+	// (≤ 0 = runtime.NumCPU()).
+	Workers int
+	// PointWorkers sizes each point's scenario Runner pool (≤ 0 = 1).
+	// The default keeps total parallelism at Workers; raise it for
+	// sweeps whose points carry many trials (arms × replications) but
+	// few grid points.
+	PointWorkers int
+	// Resume skips grid points with Index < Resume. Because emission
+	// order equals grid order, an interrupted sweep's output is a valid
+	// prefix; re-running with Resume set to the first missing index
+	// (and appending to the same file) completes it without re-paying
+	// the finished points.
+	Resume int
+}
+
+// Run expands the sweep and executes every point, streaming each
+// result to every sink in grid order. It always aggregates into an
+// in-memory Table (returned even when a mid-sweep error cuts the run
+// short, with the points that completed before the failure).
+func (e Engine) Run(s Sweep, sinks ...Sink) (*Table, error) {
+	pts, err := s.Points()
+	if err != nil {
+		return nil, err
+	}
+	if e.Resume > 0 {
+		cut := 0
+		for cut < len(pts) && pts[cut].Index < e.Resume {
+			cut++
+		}
+		pts = pts[cut:]
+	}
+
+	tbl := NewTable()
+	all := append(append([]Sink{}, sinks...), tbl)
+	meta := Meta{Name: s.Name, Dimensions: s.DimensionNames(), GridSize: s.Size(), Points: len(pts)}
+	for i, sk := range all {
+		if err := sk.Begin(meta); err != nil {
+			// Honour the Sink contract for the sinks already begun:
+			// they get their Flush even though the sweep never ran.
+			for _, begun := range all[:i] {
+				begun.Flush()
+			}
+			return tbl, err
+		}
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	pointWorkers := e.PointWorkers
+	if pointWorkers <= 0 {
+		pointWorkers = 1
+	}
+
+	type slot struct {
+		res *PointResult
+		err error
+	}
+	results := make([]slot, len(pts))
+	var next, failed atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan int, len(pts))
+	// Claim tokens bound how far workers run ahead of the emit cursor:
+	// a completed point parks its full Result until every predecessor
+	// has been emitted, so without a bound one slow early point would
+	// buffer the rest of the grid in memory. 2× workers keeps the pool
+	// busy while capping parked results at a constant multiple.
+	claims := make(chan struct{}, 2*workers)
+	for i := 0; i < cap(claims); i++ {
+		claims <- struct{}{}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				<-claims
+				i := int(next.Add(1)) - 1
+				if i >= len(pts) {
+					claims <- struct{}{}
+					return
+				}
+				if failed.Load() != 0 {
+					// A prior point failed: report the remaining
+					// points as skipped without paying for them.
+					done <- i
+					continue
+				}
+				res, err := scenario.Runner{Workers: pointWorkers}.Run(pts[i].Scenario)
+				if err != nil {
+					results[i] = slot{err: fmt.Errorf("sweep: point %d (%v): %w", pts[i].Index, pts[i].Coords, err)}
+					failed.Store(1)
+				} else {
+					results[i] = slot{res: &PointResult{Point: pts[i], Arms: armPoints(res), Result: res}}
+				}
+				done <- i
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// Emit strictly in grid order: results may complete out of order,
+	// so each finished index parks in `ready` until every predecessor
+	// has been emitted. Sinks run on this goroutine only.
+	ready := make(map[int]bool, len(pts))
+	emit := 0
+	var firstErr error
+	for i := range done {
+		ready[i] = true
+		for ready[emit] {
+			sl := results[emit]
+			if sl.err != nil && firstErr == nil {
+				firstErr = sl.err
+			}
+			if sl.res != nil && firstErr == nil {
+				for _, sk := range all {
+					if err := sk.Point(sl.res); err != nil {
+						firstErr = fmt.Errorf("sweep: sink: %w", err)
+						failed.Store(1)
+						break
+					}
+				}
+			}
+			results[emit] = slot{}
+			delete(ready, emit)
+			emit++
+			claims <- struct{}{}
+		}
+	}
+	for _, sk := range all {
+		if err := sk.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sweep: sink: %w", err)
+		}
+	}
+	return tbl, firstErr
+}
+
+// Run executes the sweep with a default Engine (one point per CPU).
+func Run(s Sweep, sinks ...Sink) (*Table, error) { return Engine{}.Run(s, sinks...) }

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"circuitstart/internal/metrics"
+	"circuitstart/internal/scenario"
+)
+
+// ArmPoint is one arm's aggregate at one grid point — the compact,
+// fixed-schema record the CSV/JSONL sinks stream (quantiles over the
+// arm's pooled TTLB distribution, startup-exit aggregates, and the
+// fabric/churn counters that catch silently degraded points).
+type ArmPoint struct {
+	// Arm is the arm's label within the point's scenario.
+	Arm string
+	// TTLB summarizes the completed transfers' times-to-last-byte in
+	// seconds (zero-valued when no transfer completed).
+	TTLB metrics.Summary
+	// Incomplete counts transfers unfinished at the horizon.
+	Incomplete int
+	// ExitCwndMean is the mean startup-exit window in cells across the
+	// arm's circuits — the paper's headline per-circuit number.
+	ExitCwndMean float64
+	// ExitTimeMedian is the median startup-exit instant in seconds
+	// (zero when no circuit exited startup).
+	ExitTimeMedian float64
+	// Restarts totals the re-probes the arm's sources performed.
+	Restarts uint64
+	// UnknownDst and Unroutable pool the arm's fabric drop counters.
+	UnknownDst, Unroutable uint64
+	// TrunkDrops totals tail drops across the arm's backbone trunks.
+	TrunkDrops uint64
+	// Built, TornDown, Rebuilt and Aborted pool the arm's
+	// circuit-lifecycle counters (zero without churn).
+	Built, TornDown, Rebuilt, Aborted int
+}
+
+// PointResult is one executed grid point: the point itself, its
+// per-arm aggregates, and the full scenario Result for custom sinks
+// that need more than the compact schema (the stock sinks and the
+// in-memory Table do not retain it, so streaming sweeps stay bounded).
+type PointResult struct {
+	Point Point
+	Arms  []ArmPoint
+	// Result is the full aggregate the Runner produced. Sinks must not
+	// mutate it.
+	Result *scenario.Result
+}
+
+// armPoints compresses a scenario Result into the per-arm records.
+func armPoints(res *scenario.Result) []ArmPoint {
+	out := make([]ArmPoint, len(res.Arms))
+	for i := range res.Arms {
+		a := &res.Arms[i]
+		ap := ArmPoint{
+			Arm:        a.Name,
+			TTLB:       a.TTLB.Summarize(),
+			Incomplete: a.Incomplete,
+			UnknownDst: a.Net.UnknownDst,
+			Unroutable: a.Net.Unroutable,
+			Built:      a.Churn.Built,
+			TornDown:   a.Churn.TornDown,
+			Rebuilt:    a.Churn.Rebuilt,
+			Aborted:    a.Churn.Aborted,
+		}
+		var exitSum float64
+		exits := metrics.NewDistribution("exit_time")
+		for _, o := range a.Circuits {
+			exitSum += o.ExitCwnd
+			if o.ExitTime > 0 {
+				exits.Add(o.ExitTime.Seconds())
+			}
+			ap.Restarts += o.Restarts
+		}
+		if len(a.Circuits) > 0 {
+			ap.ExitCwndMean = exitSum / float64(len(a.Circuits))
+		}
+		if exits.Len() > 0 {
+			ap.ExitTimeMedian = exits.Median()
+		}
+		for _, ts := range a.Net.Trunks {
+			ap.TrunkDrops += ts.Stats.TailDrops
+		}
+		out[i] = ap
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package sweep_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"circuitstart/internal/core"
+	"circuitstart/internal/scenario"
+	"circuitstart/internal/sweep"
+	"circuitstart/internal/units"
+)
+
+// runSmallGrid executes a 2×2 grid with two arms once, streaming into
+// both stock sinks, and returns everything the round-trip tests need.
+func runSmallGrid(t *testing.T) (*sweep.Table, string, string) {
+	t.Helper()
+	var cb, jb bytes.Buffer
+	sw := sweep.Sweep{
+		Name: "roundtrip",
+		Base: popBase(
+			scenario.Arm{Name: "circuitstart"},
+			scenario.Arm{Name: "backtap", Transport: core.TransportOptions{Policy: "backtap"}},
+		),
+		Dimensions: []sweep.Dimension{
+			sweep.Gamma(2, 4),
+			sweep.TransferSizes(30*units.Kilobyte, 60*units.Kilobyte),
+		},
+	}
+	tbl, err := sweep.Engine{Workers: 4}.Run(sw, sweep.NewCSVSink(&cb), sweep.NewJSONLSink(&jb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, cb.String(), jb.String()
+}
+
+// TestCSVRoundTrip parses the CSV sink's output back and checks it
+// against the in-memory table record for record.
+func TestCSVRoundTrip(t *testing.T) {
+	tbl, csvOut, _ := runSmallGrid(t)
+	recs, err := csv.NewReader(strings.NewReader(csvOut)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := []string{"point", "gamma", "size", "arm", "n", "incomplete",
+		"ttlb_mean_s", "ttlb_min_s", "ttlb_p25_s", "ttlb_p50_s", "ttlb_p75_s", "ttlb_p90_s", "ttlb_p99_s", "ttlb_max_s",
+		"exit_cwnd", "exit_time_s", "restarts", "unknown_dst", "unroutable", "trunk_drops",
+		"built", "torn_down", "rebuilt", "aborted"}
+	if strings.Join(recs[0], "|") != strings.Join(wantHeader, "|") {
+		t.Fatalf("header = %v\nwant %v", recs[0], wantHeader)
+	}
+	rows := recs[1:]
+	if len(rows) != len(tbl.Rows) {
+		t.Fatalf("%d CSV rows, table has %d", len(rows), len(tbl.Rows))
+	}
+	for i, rec := range rows {
+		want := tbl.Rows[i]
+		if got, _ := strconv.Atoi(rec[0]); got != want.Point {
+			t.Errorf("row %d point = %s, want %d", i, rec[0], want.Point)
+		}
+		if rec[1] != want.Coords[0] || rec[2] != want.Coords[1] {
+			t.Errorf("row %d coords = %v, want %v", i, rec[1:3], want.Coords)
+		}
+		if rec[3] != want.Arm {
+			t.Errorf("row %d arm = %s, want %s", i, rec[3], want.Arm)
+		}
+		if got, _ := strconv.Atoi(rec[4]); got != want.TTLB.N {
+			t.Errorf("row %d n = %s, want %d", i, rec[4], want.TTLB.N)
+		}
+		if got, err := strconv.ParseFloat(rec[9], 64); err != nil || !close8(got, want.TTLB.Median) {
+			t.Errorf("row %d ttlb_p50 = %s, want %v", i, rec[9], want.TTLB.Median)
+		}
+		if got, err := strconv.ParseFloat(rec[14], 64); err != nil || !close8(got, want.ExitCwndMean) {
+			t.Errorf("row %d exit_cwnd = %s, want %v", i, rec[14], want.ExitCwndMean)
+		}
+	}
+	// A sweep of completed transfers must have produced data rows with
+	// actual samples, or the round trip proves nothing.
+	if tbl.Rows[0].TTLB.N == 0 {
+		t.Fatal("no completed transfers in round-trip grid")
+	}
+}
+
+// close8 compares a float that passed through the 8-significant-digit
+// CSV rendering against its source.
+func close8(got, want float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := want
+	if scale < 0 {
+		scale = -scale
+	}
+	return diff/scale < 1e-7
+}
+
+// TestJSONLRoundTrip parses the JSONL sink's output back: the header
+// line, then one exact record per (point, arm).
+func TestJSONLRoundTrip(t *testing.T) {
+	tbl, _, jsonlOut := runSmallGrid(t)
+	lines := strings.Split(strings.TrimSpace(jsonlOut), "\n")
+	if len(lines) != 1+len(tbl.Rows) {
+		t.Fatalf("%d JSONL lines, want header + %d", len(lines), len(tbl.Rows))
+	}
+	var header struct {
+		Schema     string   `json:"schema"`
+		Name       string   `json:"name"`
+		Dimensions []string `json:"dimensions"`
+		GridSize   int      `json:"grid_size"`
+		Points     int      `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatal(err)
+	}
+	if header.Schema != "circuitsim-sweep/v1" || header.Name != "roundtrip" ||
+		header.GridSize != 4 || header.Points != 4 ||
+		strings.Join(header.Dimensions, ",") != "gamma,size" {
+		t.Fatalf("header = %+v", header)
+	}
+	for i, line := range lines[1:] {
+		var row sweep.JSONLRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		want := tbl.Rows[i]
+		if row.Point != want.Point || row.Arm != want.Arm ||
+			row.Coords["gamma"] != want.Coords[0] || row.Coords["size"] != want.Coords[1] {
+			t.Errorf("line %d = %+v, want point %d arm %s coords %v", i+1, row, want.Point, want.Arm, want.Coords)
+		}
+		if row.N != want.TTLB.N || row.TTLBP50 != want.TTLB.Median ||
+			row.ExitCwnd != want.ExitCwndMean || row.TTLBMax != want.TTLB.Max {
+			t.Errorf("line %d metrics = %+v, want %+v", i+1, row, want.ArmPoint)
+		}
+	}
+}
+
+// TestTableSummaries covers the best-arm and marginal queries on a grid
+// where CircuitStart should win everywhere.
+func TestTableSummaries(t *testing.T) {
+	tbl, _, _ := runSmallGrid(t)
+	best := tbl.BestArms()
+	if len(best) != 4 {
+		t.Fatalf("%d best arms, want 4", len(best))
+	}
+	for _, b := range best {
+		if b.Arm == "" {
+			t.Errorf("point %d has no winner", b.Point)
+		}
+	}
+	marg, err := tbl.Marginal("gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 gamma values × 2 arms.
+	if len(marg) != 4 {
+		t.Fatalf("%d marginal rows, want 4", len(marg))
+	}
+	wins := 0
+	for _, m := range marg {
+		if m.Points == 0 || m.MeanMedian <= 0 {
+			t.Errorf("marginal %+v has no data", m)
+		}
+		wins += m.Wins
+	}
+	if wins != 4 {
+		t.Errorf("marginal wins total %d, want 4 (one per point)", wins)
+	}
+	if _, err := tbl.Marginal("bogus"); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+	var text, margText bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(text.String(), "\n"); got != 1+len(tbl.Rows) {
+		t.Errorf("WriteText rendered %d lines, want %d", got, 1+len(tbl.Rows))
+	}
+	if err := tbl.WriteMarginals(&margText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(margText.String(), "marginal over gamma:") ||
+		!strings.Contains(margText.String(), "marginal over size:") {
+		t.Errorf("marginals missing a dimension:\n%s", margText.String())
+	}
+}

@@ -1,0 +1,121 @@
+package traceio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CSVStream writes CSV rows incrementally — the streaming counterpart
+// of Table for producers (like the sweep engine) that emit results as
+// they become available instead of accumulating them first. The header
+// fixes the column count; every row must match it.
+type CSVStream struct {
+	w    io.Writer
+	cols int
+}
+
+// NewCSVStream writes the header row and returns a stream bound to it.
+func NewCSVStream(w io.Writer, header ...string) (*CSVStream, error) {
+	if len(header) == 0 {
+		return nil, fmt.Errorf("traceio: CSV stream without columns")
+	}
+	s := &CSVStream{w: w, cols: len(header)}
+	return s, s.Write(header...)
+}
+
+// NewCSVStreamNoHeader returns a stream that writes no header row —
+// for appending rows to a file that already carries one.
+func NewCSVStreamNoHeader(w io.Writer, columns int) (*CSVStream, error) {
+	if columns <= 0 {
+		return nil, fmt.Errorf("traceio: CSV stream without columns")
+	}
+	return &CSVStream{w: w, cols: columns}, nil
+}
+
+// Write appends one row. The cell count must match the header.
+func (s *CSVStream) Write(cells ...string) error {
+	if len(cells) != s.cols {
+		return fmt.Errorf("traceio: row with %d cells in CSV stream with %d columns", len(cells), s.cols)
+	}
+	return writeCSVRecord(s.w, cells)
+}
+
+// Writef appends a row of formatted values with Table.AddRowf's rules:
+// strings pass through, float64s are compacted, everything else uses %v.
+func (s *CSVStream) Writef(cells ...any) error {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = formatFloat(v)
+		default:
+			out[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	return s.Write(out...)
+}
+
+// writeCSVRecord writes one record immediately (encoding/csv buffers
+// whole records internally; going through a per-row Flush would lose
+// write errors, so the quoting is done here — the cells the simulator
+// emits never need quoting, but a comma or quote in a label must not
+// corrupt the file).
+func writeCSVRecord(w io.Writer, cells []string) error {
+	for i, c := range cells {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if needsQuoting(c) {
+			if _, err := io.WriteString(w, quoteCSV(c)); err != nil {
+				return err
+			}
+		} else if _, err := io.WriteString(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func needsQuoting(c string) bool {
+	for i := 0; i < len(c); i++ {
+		switch c[i] {
+		case ',', '"', '\n', '\r':
+			return true
+		}
+	}
+	return false
+}
+
+func quoteCSV(c string) string {
+	out := make([]byte, 0, len(c)+2)
+	out = append(out, '"')
+	for i := 0; i < len(c); i++ {
+		if c[i] == '"' {
+			out = append(out, '"', '"')
+			continue
+		}
+		out = append(out, c[i])
+	}
+	return string(append(out, '"'))
+}
+
+// JSONLStream writes one compact JSON value per line (JSON Lines) —
+// the machine-readable streaming format for sweep results and similar
+// record sequences.
+type JSONLStream struct {
+	enc *json.Encoder
+}
+
+// NewJSONLStream returns a stream writing to w.
+func NewJSONLStream(w io.Writer) *JSONLStream {
+	return &JSONLStream{enc: json.NewEncoder(w)}
+}
+
+// Write appends one value as a single JSON line.
+func (s *JSONLStream) Write(v any) error { return s.enc.Encode(v) }

@@ -1,0 +1,81 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCSVStream(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewCSVStream(&buf, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("1", "2", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Writef("x", 1.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Cells with commas, quotes and newlines must round-trip.
+	if err := s.Write(`he said "hi"`, "a,b", "two\nlines"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("short"); err == nil {
+		t.Fatal("row with wrong cell count accepted")
+	}
+
+	recs, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("stream output is not valid CSV: %v\n%s", err, buf.String())
+	}
+	want := [][]string{
+		{"a", "b", "c"},
+		{"1", "2", "3"},
+		{"x", "1.5", "7"},
+		{`he said "hi"`, "a,b", "two\nlines"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("%d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if strings.Join(recs[i], "\x00") != strings.Join(want[i], "\x00") {
+			t.Errorf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestCSVStreamNoColumns(t *testing.T) {
+	if _, err := NewCSVStream(&bytes.Buffer{}); err == nil {
+		t.Fatal("stream without columns accepted")
+	}
+}
+
+func TestJSONLStream(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLStream(&buf)
+	type rec struct {
+		Name string  `json:"name"`
+		V    float64 `json:"v"`
+	}
+	if err := s.Write(rec{"a", 1.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(rec{"b", -3}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	var got rec
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "b" || got.V != -3 {
+		t.Fatalf("line 2 = %+v", got)
+	}
+}
