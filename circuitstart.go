@@ -77,6 +77,24 @@
 // bandwidth, churn rate, or any custom mutation), executed point by
 // point on the parallel runner and streamed into sinks:
 //
+// # Relay resources and scheduling
+//
+// Relays are finite machines, not infinite sinks: a RelayConfig on an
+// Arm (or on Network.ConfigureRelays directly) gives every relay a
+// resource manager — circuit and buffered-memory caps with a
+// deterministic admission/kill policy (reject-new, kill-oldest,
+// kill-heaviest) — and a pluggable uplink scheduler: FIFO, or the
+// Tor-style EWMA discipline that prioritises quiet (interactive)
+// circuits over heavy (bulk) ones. Both are pure data threaded through
+// Scenario arms and sweep dimensions (SweepSchedulers, SweepRelayCaps);
+// the zero RelayConfig is the byte-identical unlimited/FIFO default.
+// Results surface Jain's fairness index over per-circuit TTLB, kill and
+// rejection counters, and per-relay memory high-water marks.
+// AblationOverload crams an interactive-vs-bulk mix onto a few capped
+// relays behind a saturated trunk and runs the CircuitStart-vs-slow-
+// start × FIFO-vs-EWMA grid ('circuitsim ablation -name overload' and
+// examples/overload).
+//
 //	tbl, _ := circuitstart.RunSweep(circuitstart.Sweep{
 //		Name: "gamma-surface",
 //		Base: base, // any Scenario
@@ -102,6 +120,8 @@ import (
 	"circuitstart/internal/metrics"
 	"circuitstart/internal/model"
 	"circuitstart/internal/netem"
+	"circuitstart/internal/relay"
+	"circuitstart/internal/resource"
 	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/sweep"
@@ -173,6 +193,35 @@ type (
 	SharedBottleneckParams = experiments.SharedBottleneckParams
 	// ChurnParams configures the circuit-churn ablation.
 	ChurnParams = experiments.ChurnParams
+	// OverloadParams configures the relay-overload ablation.
+	OverloadParams = experiments.OverloadParams
+)
+
+// Relay resource management and scheduling. See the package comment's
+// "Relay resources and scheduling" section.
+type (
+	// RelayConfig selects a relay's uplink scheduler and resource
+	// limits; the zero value is the byte-identical unlimited/FIFO
+	// default.
+	RelayConfig = relay.Config
+	// ResourceLimits caps a relay's circuits and buffered memory and
+	// names the policy applied at the cap.
+	ResourceLimits = resource.Limits
+	// ResourceStats pools a relay population's admission, rejection,
+	// kill and memory high-water counters.
+	ResourceStats = resource.Stats
+	// KillPolicy decides what happens when a resource limit is hit.
+	KillPolicy = resource.Policy
+)
+
+// Admission/kill policies for ResourceLimits.Policy.
+const (
+	// KillRejectNew refuses new circuits at the circuit cap.
+	KillRejectNew = resource.RejectNew
+	// KillOldest evicts the longest-admitted circuit to make room.
+	KillOldest = resource.KillOldest
+	// KillHeaviest evicts the circuit holding the most buffered cells.
+	KillHeaviest = resource.KillHeaviest
 )
 
 // Declarative experiment API: a Scenario describes an experiment as
@@ -279,6 +328,10 @@ var (
 	SweepTrunkDelays = sweep.TrunkDelays
 	// SweepChurnRates sweeps the circuit-churn arrival rate.
 	SweepChurnRates = sweep.ChurnRates
+	// SweepSchedulers sweeps the relay uplink scheduler on every arm.
+	SweepSchedulers = sweep.DimScheduler
+	// SweepRelayCaps sweeps the per-relay resource limits on every arm.
+	SweepRelayCaps = sweep.DimRelayCaps
 	// SweepSeeds re-runs the grid under independent base seeds.
 	SweepSeeds = sweep.Seeds
 	// NewSweepCSVSink streams sweep rows as CSV.
@@ -369,6 +422,16 @@ var (
 	AblationChurn = experiments.AblationChurn
 	// DefaultChurnParams mirrors the churn ablation's setup.
 	DefaultChurnParams = experiments.DefaultChurnParams
+	// AblationOverload runs the relay-overload grid: CircuitStart vs
+	// slow start × FIFO vs EWMA scheduling on capped, saturated relays.
+	AblationOverload = experiments.AblationOverload
+	// DefaultOverloadParams mirrors the overload ablation's setup.
+	DefaultOverloadParams = experiments.DefaultOverloadParams
+	// KillPolicyByName maps configuration names ("reject-new",
+	// "kill-oldest", "kill-heaviest") to kill policies.
+	KillPolicyByName = resource.PolicyByName
+	// JainIndex computes Jain's fairness index over a sample set.
+	JainIndex = metrics.JainIndex
 
 	// RunScenario executes a Scenario with a default Runner (one
 	// worker per CPU).

@@ -22,6 +22,7 @@ import (
 	"circuitstart/internal/core"
 	"circuitstart/internal/experiments"
 	"circuitstart/internal/metrics"
+	"circuitstart/internal/resource"
 	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/traceio"
@@ -191,7 +192,7 @@ func runFig1CDF(args []string) error {
 // (the usage text and README derive from this list).
 var ablationNames = []string{
 	"gamma", "compensation", "clock", "position", "concurrency",
-	"extensions", "vegas", "shared", "churn",
+	"extensions", "vegas", "shared", "churn", "overload",
 }
 
 func runAblation(args []string) error {
@@ -203,6 +204,10 @@ func runAblation(args []string) error {
 	arrivals := fs.Int("arrivals", 40, "churn downloads arriving mid-run (churn only)")
 	rate := fs.Float64("rate", 8, "churn arrival rate per second (churn only)")
 	failures := fs.Int("failures", 2, "high-bandwidth relays failing mid-run (churn only)")
+	pairs := fs.Int("pairs", 8, "interactive+bulk circuit pairs (overload only)")
+	maxCircuits := fs.Int("max-circuits", 6, "per-relay circuit cap (overload only)")
+	maxMemory := fs.Int64("max-memory", 128_000, "per-relay held-cell memory cap [bytes] (overload only)")
+	killPolicy := fs.String("kill", "kill-heaviest", "cap policy: reject-new | kill-oldest | kill-heaviest (overload only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -289,6 +294,25 @@ func runAblation(args []string) error {
 		fmt.Printf("median improvement with CircuitStart under churn: %.3f s\n",
 			-res.MedianGap("circuitstart", "backtap"))
 		return nil
+	case "overload":
+		policy, err := resource.PolicyByName(*killPolicy)
+		if err != nil {
+			return err
+		}
+		p := experiments.DefaultOverloadParams()
+		p.Seed = *seed
+		p.CircuitPairs = *pairs
+		p.TrunkRate = units.Mbps(*trunk)
+		p.Limits.MaxCircuits = *maxCircuits
+		p.Limits.MaxMemory = units.DataSize(*maxMemory)
+		p.Limits.Policy = policy
+		res, err := experiments.AblationOverload(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ablation overload: %d interactive (%s) + %d bulk (%s) circuits on %d relay pairs behind a %s trunk, caps %s\n",
+			p.CircuitPairs, p.Interactive, p.CircuitPairs, p.Bulk, p.RelayPairs, p.TrunkRate, p.Limits.Label())
+		return res.WriteText(os.Stdout)
 	default:
 		return fmt.Errorf("unknown ablation %q", *name)
 	}

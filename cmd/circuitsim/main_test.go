@@ -77,6 +77,18 @@ func TestRunAblationChurn(t *testing.T) {
 	}
 }
 
+func TestRunAblationOverload(t *testing.T) {
+	if err := runAblation([]string{"-name", "overload", "-pairs", "4", "-max-circuits", "5", "-kill", "kill-oldest"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAblation([]string{"-name", "overload", "-kill", "banish"}); err == nil {
+		t.Fatal("unknown kill policy accepted")
+	}
+	if err := runAblation([]string{"-name", "overload", "-pairs", "0"}); err == nil {
+		t.Fatal("zero circuit pairs accepted")
+	}
+}
+
 // TestUsageMatchesCommandTable pins the help text to the dispatch
 // table: every command the binary accepts is listed, every ablation
 // name appears, and nothing extra is advertised.
@@ -106,13 +118,15 @@ func TestUsageMatchesCommandTable(t *testing.T) {
 // actually dispatchable (reaches its implementation rather than the
 // unknown-name error). Names whose full runs other tests in this file
 // already exercise — compensation/clock/position (TestRunAblation),
-// shared (TestRunAblationShared), churn (TestRunAblationChurn) — and
-// the minutes-long concurrency sweep are skipped; the remaining
-// trace-topology sweeps are cheap enough to run outright.
+// shared (TestRunAblationShared), churn (TestRunAblationChurn),
+// overload (TestRunAblationOverload) — and the minutes-long concurrency
+// sweep are skipped; the remaining trace-topology sweeps are cheap
+// enough to run outright.
 func TestAblationNamesDispatch(t *testing.T) {
 	covered := map[string]bool{
 		"compensation": true, "clock": true, "position": true,
 		"shared": true, "churn": true, "concurrency": true,
+		"overload": true,
 	}
 	for _, name := range ablationNames {
 		if covered[name] {

@@ -13,6 +13,8 @@ func BenchmarkStarTransit(b *testing.B)   { StarTransit(b) }
 func BenchmarkOnionWrap(b *testing.B)     { OnionWrap(b) }
 func BenchmarkOnionUnwrap(b *testing.B)   { OnionUnwrap(b) }
 
+func BenchmarkSchedulerEnqueueDequeue(b *testing.B) { SchedulerEnqueueDequeue(b) }
+
 func BenchmarkSingleTransfer(b *testing.B) {
 	if testing.Short() {
 		b.Skip("paper-scale transfer")

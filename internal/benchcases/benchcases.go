@@ -17,6 +17,7 @@ import (
 	"circuitstart/internal/cell"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/onion"
+	"circuitstart/internal/sched"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/units"
 	"circuitstart/internal/workload"
@@ -97,6 +98,41 @@ func StarTransit(b *testing.B) {
 	}
 	if delivered != b.N {
 		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// SchedulerEnqueueDequeue measures the EWMA quiet-circuit scheduler's
+// per-frame cost on a relay uplink: one push/pop cycle of 8 competing
+// circuits' pooled frames through the cost heap. CI fails if this
+// reports nonzero allocs/op — circuit nodes come from the free list and
+// the rings and heap grow to the working set once, so steady-state
+// scheduling must be allocation-free.
+func SchedulerEnqueueDequeue(b *testing.B) {
+	clock := sim.NewClock()
+	q := sched.NewEWMA(clock, 0)
+	pool := netem.NewFramePool()
+	const circuits = 8
+	frames := make([]*netem.Frame, circuits)
+	for i := range frames {
+		f := pool.Get()
+		f.Src, f.Dst, f.Size = "a", "b", 512
+		f.Circ = uint32(i + 1)
+		frames[i] = f
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range frames {
+			q.Push(f)
+		}
+		for j := 0; j < circuits; j++ {
+			if q.Pop() == nil {
+				b.Fatal("scheduler ran dry")
+			}
+		}
+	}
+	if q.Len() != 0 {
+		b.Fatalf("%d frames left queued", q.Len())
 	}
 }
 

@@ -26,6 +26,7 @@ var Headline = []struct {
 	{"star_transit", StarTransit},
 	{"onion_wrap", OnionWrap},
 	{"onion_unwrap", OnionUnwrap},
+	{"scheduler_enqueue_dequeue", SchedulerEnqueueDequeue},
 	{"single_transfer", SingleTransfer},
 }
 
@@ -123,11 +124,13 @@ func ReadSnapshot(path string) (Snapshot, error) {
 
 // zeroAllocGated names the benchmarks whose hot paths must stay
 // allocation-free outright (the event free list, in-place timer
-// rearm, pooled links/fabrics and the onion scratch buffers) —
-// everything headline except the whole-transfer profile.
+// rearm, pooled links/fabrics, the onion scratch buffers and the
+// scheduler's free-listed circuit nodes) — everything headline except
+// the whole-transfer profile.
 var zeroAllocGated = map[string]bool{
 	"clock_schedule": true, "timer_rearm": true, "link_transit": true,
 	"star_transit": true, "onion_wrap": true, "onion_unwrap": true,
+	"scheduler_enqueue_dequeue": true,
 }
 
 // nsGated names the benchmarks whose ns/op is compared against the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -126,6 +127,12 @@ func (o TransportOptions) config() (transport.Config, error) {
 	return cfg, nil
 }
 
+// ErrCircuitRejected is wrapped by BuildCircuit when a relay's
+// resource manager refuses the circuit at admission. Callers that
+// tolerate rejection (overload scenarios) test for it with errors.Is;
+// everything else treats it like any other build failure.
+var ErrCircuitRejected = errors.New("circuit rejected at admission")
+
 // CircuitSpec describes one circuit to build across a Network.
 type CircuitSpec struct {
 	// ID is the circuit identifier. Zero selects the next free ID.
@@ -164,6 +171,7 @@ type Circuit struct {
 	builtAt  sim.Time
 	closedAt sim.Time
 	closed   bool
+	killed   bool
 }
 
 // BuildCircuit constructs the circuit: per-hop key establishment with
@@ -225,7 +233,14 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 				trace.Record(clock.Now(), cwnd)
 			}
 		}
-		r.AddHop(spec.ID, pred, succ, relayKeys[i], hopCfg, i == len(spec.Relays)-1)
+		if !r.AddHop(spec.ID, pred, succ, relayKeys[i], hopCfg, i == len(spec.Relays)-1) {
+			// Admission refused: unwind the hops already wired so the
+			// earlier relays release their (admitted) state.
+			for _, prev := range spec.Relays[:i] {
+				n.relays[prev].RemoveHop(spec.ID)
+			}
+			return nil, fmt.Errorf("core: circuit %d refused by relay %q: %w", spec.ID, id, ErrCircuitRejected)
+		}
 	}
 
 	// Source endpoint with its own sender config.
@@ -279,6 +294,7 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 	}
 	c.path = model.NewPathWithTransits(nodes, fwd, rev)
 
+	n.circuits[spec.ID] = c
 	return c, nil
 }
 
@@ -391,6 +407,7 @@ func (c *Circuit) Teardown() {
 	}
 	c.closed = true
 	c.closedAt = c.network.Now()
+	delete(c.network.circuits, c.id)
 	for _, id := range c.spec.Relays {
 		if r := c.network.relays[id]; r != nil {
 			r.RemoveHop(c.id)
@@ -402,6 +419,9 @@ func (c *Circuit) Teardown() {
 
 // Closed reports whether the circuit has been torn down.
 func (c *Circuit) Closed() bool { return c.closed }
+
+// Killed reports whether the teardown was a resource-limit eviction.
+func (c *Circuit) Killed() bool { return c.killed }
 
 // BuiltAt returns the virtual time the circuit was built.
 func (c *Circuit) BuiltAt() sim.Time { return c.builtAt }

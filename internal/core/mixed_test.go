@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"circuitstart/internal/metrics"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/units"
@@ -45,11 +46,12 @@ func TestMixedPoliciesCoexist(t *testing.T) {
 		t.Fatalf("incomplete: cs=%v ss=%v", csOK, ssOK)
 	}
 	// Fair-share completion for two equal transfers over one bottleneck
-	// would be ~2× the solo time; neither flow may be starved beyond 4×
-	// the other.
-	ratio := float64(csT) / float64(ssT)
-	if ratio > 4 || ratio < 0.25 {
-		t.Fatalf("gross unfairness: circuitstart %v vs slowstart %v", csT, ssT)
+	// would be ~2× the solo time. Jain's index over the two completion
+	// times must stay above the value a 4:1 starvation would produce
+	// (J(1,4) = 25/34 ≈ 0.735).
+	jain := metrics.JainIndex([]float64{csT.Seconds(), ssT.Seconds()})
+	if jain < 25.0/34.0 {
+		t.Fatalf("gross unfairness (Jain %.3f): circuitstart %v vs slowstart %v", jain, csT, ssT)
 	}
 }
 

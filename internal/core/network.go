@@ -16,6 +16,8 @@ import (
 	"circuitstart/internal/netem"
 	"circuitstart/internal/onion"
 	"circuitstart/internal/relay"
+	"circuitstart/internal/resource"
+	"circuitstart/internal/sched"
 	"circuitstart/internal/sim"
 )
 
@@ -39,6 +41,14 @@ type Network struct {
 	cellPool *cell.Pool
 
 	nextAutoCirc uint32
+
+	// relayCfg is the scheduling/limits template applied to every relay
+	// added after ConfigureRelays; circuits registers live circuits so a
+	// relay's resource manager can evict one network-wide, and onKill
+	// observes those evictions (scenario engines mark the transfer).
+	relayCfg relay.Config
+	circuits map[cell.CircID]*Circuit
+	onKill   func(*Circuit)
 }
 
 // FabricBuilder constructs a network's topology substrate on its clock.
@@ -78,7 +88,71 @@ func NewNetworkWithFabric(seed int64, build FabricBuilder) *Network {
 		lossRNG:    lossRNG,
 		keyRNG:     sim.NewRNG(seed, "onion-keys"),
 		cellPool:   cell.NewPool(),
+		circuits:   make(map[cell.CircID]*Circuit),
 	}
+}
+
+// ConfigureRelays sets the scheduling/limits template applied to every
+// relay added afterwards, and — when the config selects the EWMA
+// discipline — installs the same scheduler on the fabric's trunks, so
+// backbone contention is also circuit-aware. Call it before AddRelay;
+// a zero config is a valid no-op (the byte-identical default).
+func (n *Network) ConfigureRelays(cfg relay.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	n.relayCfg = cfg
+	if cfg.Scheduler == "ewma" {
+		for _, l := range n.fabric.Trunks() {
+			l.SetScheduler(sched.NewEWMA(n.clock, cfg.HalfLife.Duration()))
+		}
+	}
+	return nil
+}
+
+// OnKill installs an observer invoked just before a resource-limit
+// eviction tears a circuit down. Scenario engines use it to mark the
+// victim's transfer as killed rather than silently incomplete.
+func (n *Network) OnKill(fn func(*Circuit)) { n.onKill = fn }
+
+// killCircuit is the eviction path a relay's resource manager triggers:
+// flag the circuit, notify the observer, and tear it down network-wide
+// (which releases every relay's hop, including the killer's).
+func (n *Network) killCircuit(id cell.CircID) {
+	c := n.circuits[id]
+	if c == nil || c.closed {
+		return
+	}
+	c.killed = true
+	if n.onKill != nil {
+		n.onKill(c)
+	}
+	c.Teardown()
+}
+
+// ResourceStats pools the resource-manager counters across all relays
+// (zero-valued when no relay runs with limits).
+func (n *Network) ResourceStats() resource.Stats {
+	var total resource.Stats
+	for _, r := range n.relays {
+		if mgr := r.Resources(); mgr != nil {
+			total.Merge(mgr.Stats())
+		}
+	}
+	return total
+}
+
+// SchedDrops totals the frames dropped by installed schedulers
+// (bandwidth policers) across relay uplinks and fabric trunks.
+func (n *Network) SchedDrops() uint64 {
+	var total uint64
+	for _, r := range n.relays {
+		total += r.Port().Uplink().Stats().SchedDrops
+	}
+	for _, l := range n.fabric.Trunks() {
+		total += l.Stats().SchedDrops
+	}
+	return total
 }
 
 // Clock returns the shared virtual clock.
@@ -120,6 +194,9 @@ func (n *Network) AddRelay(id netem.NodeID, access netem.AccessConfig) (*relay.R
 		return nil, fmt.Errorf("core: relay %q identity: %w", id, err)
 	}
 	r := relay.New(id, n.fabric, access, n.lossRNG)
+	if err := r.Configure(n.relayCfg, n.killCircuit); err != nil {
+		return nil, fmt.Errorf("core: relay %q: %w", id, err)
+	}
 	n.relays[id] = r
 	n.identities[id] = ident
 	return r, nil

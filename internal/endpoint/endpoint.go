@@ -312,10 +312,11 @@ func (k *Sink) SendBackward(size units.DataSize) int {
 
 // sendSegment transmits a hop segment, giving control segments (ACK,
 // FEEDBACK, PROBE) link priority so congestion feedback is not delayed
-// by the data queues it describes.
+// by the data queues it describes. Data frames carry their circuit ID
+// so installed circuit schedulers can tell flows apart.
 func sendSegment(p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
 	if seg.Kind == transport.KindData {
-		return p.Send(dst, seg.WireSize(), seg)
+		return p.SendCirc(dst, seg.WireSize(), seg, uint32(seg.Circ))
 	}
 	return p.SendPriority(dst, seg.WireSize(), seg)
 }

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"circuitstart/internal/resource"
+	"circuitstart/internal/scenario"
+	"circuitstart/internal/units"
+)
+
+// smallOverloadParams shrinks the default overload ablation for fast
+// tests while keeping the limits tight enough to force kills.
+func smallOverloadParams() OverloadParams {
+	p := DefaultOverloadParams()
+	p.CircuitPairs = 4
+	p.RelayPairs = 1
+	p.Bulk = 500 * units.Kilobyte
+	p.Limits = resource.Limits{
+		MaxCircuits: 6,
+		MaxMemory:   64 * units.Kilobyte,
+		Policy:      resource.KillHeaviest,
+	}
+	return p
+}
+
+func TestAblationOverloadReportsPressure(t *testing.T) {
+	res, err := AblationOverload(smallOverloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range res.Arms {
+		if got := len(arm.Circuits); got != 8 {
+			t.Fatalf("arm %q has %d circuits, want 8", arm.Name, got)
+		}
+		rs := arm.Net.Resource
+		if rs.Admitted == 0 {
+			t.Fatalf("arm %q admitted nothing: %+v", arm.Name, rs)
+		}
+		if rs.Killed == 0 {
+			t.Fatalf("arm %q killed nothing — limits never bit: %+v", arm.Name, rs)
+		}
+		if rs.MemHighWater == 0 {
+			t.Fatalf("arm %q recorded no memory high-water", arm.Name)
+		}
+		if arm.TTLB.Len() == 0 {
+			t.Fatalf("arm %q completed nothing", arm.Name)
+		}
+		if j := arm.JainTTLB(); j <= 0 || j > 1 {
+			t.Fatalf("arm %q Jain index %v outside (0, 1]", arm.Name, j)
+		}
+		killed := 0
+		for _, o := range arm.Circuits {
+			if o.Killed {
+				killed++
+			}
+			if o.Done && o.Killed {
+				t.Fatalf("arm %q circuit %d both done and killed", arm.Name, o.Index)
+			}
+		}
+		if killed == 0 {
+			t.Fatalf("arm %q pooled kills but marked no outcome killed", arm.Name)
+		}
+	}
+}
+
+// TestAblationOverloadDeterministicAcrossWorkers pins the hard
+// guarantee on the new subsystem: the rendered overload report —
+// fairness indices, kill counts, memory high-water marks and all — is
+// byte-identical for any Runner worker count.
+func TestAblationOverloadDeterministicAcrossWorkers(t *testing.T) {
+	sc := smallOverloadParams().Scenario()
+	render := func(workers int) string {
+		res, err := scenario.Runner{Workers: workers}.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one, eight := render(1), render(8)
+	if one != eight {
+		t.Fatalf("overload report differs between 1 and 8 workers\n--- 1 ---\n%s--- 8 ---\n%s", one, eight)
+	}
+}
+
+func TestAblationOverloadValidation(t *testing.T) {
+	cases := []func(*OverloadParams){
+		func(p *OverloadParams) { p.CircuitPairs = 0 },
+		func(p *OverloadParams) { p.RelayPairs = 0 },
+		func(p *OverloadParams) { p.TrunkRate = 0 },
+		func(p *OverloadParams) { p.Interactive = 0 },
+		func(p *OverloadParams) { p.Bulk = -1 },
+		func(p *OverloadParams) { p.Limits.MaxCircuits = -1 },
+		func(p *OverloadParams) { p.HalfLife = -1 },
+	}
+	for i, mutate := range cases {
+		p := smallOverloadParams()
+		mutate(&p)
+		if _, err := AblationOverload(p); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

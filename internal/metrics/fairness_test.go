@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all_zero", []float64{0, 0, 0}, 0},
+		{"single", []float64{3.5}, 1},
+		{"equal", []float64{2, 2, 2, 2}, 1},
+		{"one_dominates", []float64{1, 0, 0, 0}, 0.25}, // 1/n
+		{"ratio_four", []float64{1, 4}, 25.0 / 34.0},
+		{"mixed", []float64{1, 2, 3}, 36.0 / 42.0},
+		{"scale_invariant", []float64{10, 40}, 25.0 / 34.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := JainIndex(tc.xs)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("JainIndex(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDistributionJainIndex(t *testing.T) {
+	d := NewDistribution("ttlb")
+	for _, v := range []float64{1, 2, 3} {
+		d.Add(v)
+	}
+	if got, want := d.JainIndex(), 36.0/42.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("JainIndex = %v, want %v", got, want)
+	}
+	// Quantile queries sort the samples in place; the index must not
+	// depend on sample order.
+	d.Median()
+	if got, want := d.JainIndex(), 36.0/42.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("JainIndex after sort = %v, want %v", got, want)
+	}
+}

@@ -114,6 +114,16 @@ func (p *Port) SendPriority(dst NodeID, size units.DataSize, payload any) bool {
 	return p.up.Send(p.newFrame(dst, size, payload, true))
 }
 
+// SendCirc is Send with the frame tagged by its overlay circuit, so
+// circuit schedulers installed on this uplink (or on trunks the frame
+// crosses) can service circuits instead of a single FIFO. With no
+// scheduler installed it behaves exactly like Send.
+func (p *Port) SendCirc(dst NodeID, size units.DataSize, payload any, circ uint32) bool {
+	f := p.newFrame(dst, size, payload, false)
+	f.Circ = circ
+	return p.up.Send(f)
+}
+
 func (p *Port) newFrame(dst NodeID, size units.DataSize, payload any, priority bool) *Frame {
 	f := p.pool.Get()
 	f.Src = p.id
@@ -121,6 +131,7 @@ func (p *Port) newFrame(dst NodeID, size units.DataSize, payload any, priority b
 	f.Size = size
 	f.Payload = payload
 	f.Priority = priority
+	f.Circ = 0
 	return f
 }
 

@@ -39,6 +39,11 @@ type Frame struct {
 	// reports on, and every delay-based estimator upstream reads the
 	// reverse-path queue as forward-path congestion.
 	Priority bool
+	// Circ tags data frames with the overlay circuit they belong to
+	// (0 = untagged). The network layer never interprets it beyond
+	// handing it to an installed SchedQueue, which uses it to service
+	// circuits instead of a single FIFO.
+	Circ uint32
 
 	enqueuedAt sim.Time // set by Link for queue-delay accounting
 }
@@ -82,6 +87,24 @@ func (p *FramePool) Put(f *Frame) {
 	}
 	f.Payload = nil
 	p.free = append(p.free, f)
+}
+
+// SchedQueue is a pluggable scheduler for a link's data frames. When
+// installed via Link.SetScheduler it replaces the built-in FIFO ring
+// for non-priority frames: Send pushes accepted frames, the serializer
+// pops the scheduler's pick. Priority (control) frames bypass it and
+// keep strict precedence.
+//
+// Push may refuse a frame (a bandwidth policer, for example); the link
+// then counts a SchedDrop and recycles the frame exactly like a tail
+// drop. Pop must return frames until Len reaches zero — admission
+// decisions belong in Push, so the serializer stays work-conserving.
+// Implementations must be deterministic and, to preserve the pooled
+// hot path, allocation-free in steady state (see internal/sched).
+type SchedQueue interface {
+	Push(f *Frame) bool
+	Pop() *Frame
+	Len() int
 }
 
 // Handler consumes frames delivered by the network layer.

@@ -34,6 +34,7 @@ type LinkStats struct {
 	Delivered   uint64         // frames handed to the receiver
 	TailDrops   uint64         // frames dropped because the queue was full
 	RandomLoss  uint64         // frames dropped by the loss process
+	SchedDrops  uint64         // frames refused by the installed scheduler
 	BytesOut    units.DataSize // payload bytes delivered
 	QueueDelay  time.Duration  // total time frames spent queued (excl. serialization)
 	MaxQueueLen int            // high-water mark of queued frames
@@ -47,6 +48,7 @@ func (s *LinkStats) Merge(o LinkStats) {
 	s.Delivered += o.Delivered
 	s.TailDrops += o.TailDrops
 	s.RandomLoss += o.RandomLoss
+	s.SchedDrops += o.SchedDrops
 	s.BytesOut += o.BytesOut
 	s.QueueDelay += o.QueueDelay
 	if o.MaxQueueLen > s.MaxQueueLen {
@@ -72,8 +74,9 @@ type Link struct {
 	cfg   LinkConfig
 	dst   Handler
 
-	queue       frameRing // data frames
-	prioQueue   frameRing // control frames, serialized first
+	queue       frameRing  // data frames (unused when sched is set)
+	prioQueue   frameRing  // control frames, serialized first
+	sched       SchedQueue // optional data-frame scheduler, replaces queue
 	queuedBytes units.DataSize
 	busy        bool
 
@@ -103,8 +106,9 @@ type DropReason int
 
 // Drop reasons.
 const (
-	DropTail DropReason = iota // egress queue full
-	DropLoss                   // random loss process
+	DropTail  DropReason = iota // egress queue full
+	DropLoss                    // random loss process
+	DropSched                   // refused by the installed scheduler (policer)
 )
 
 func (r DropReason) String() string {
@@ -113,6 +117,8 @@ func (r DropReason) String() string {
 		return "tail-drop"
 	case DropLoss:
 		return "random-loss"
+	case DropSched:
+		return "sched-drop"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -166,6 +172,16 @@ func (l *Link) SetRate(r units.DataRate) {
 	l.cfg.Rate = r
 }
 
+// SetScheduler installs a data-frame scheduler, replacing the built-in
+// FIFO ring for non-priority frames (priority frames keep strict
+// precedence). Install it before any data frame flows: frames already
+// queued in the FIFO ring stay there and drain first. A nil scheduler
+// restores the built-in FIFO.
+func (l *Link) SetScheduler(q SchedQueue) { l.sched = q }
+
+// Scheduler returns the installed data-frame scheduler, or nil.
+func (l *Link) Scheduler() SchedQueue { return l.sched }
+
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
@@ -175,8 +191,15 @@ func (l *Link) Stats() LinkStats { return l.stats }
 func (l *Link) ResetStats() { l.stats = LinkStats{} }
 
 // QueueLen returns the number of frames waiting (not counting the one in
-// serialization), across both priority classes.
-func (l *Link) QueueLen() int { return l.queue.len() + l.prioQueue.len() }
+// serialization), across both priority classes and any installed
+// scheduler.
+func (l *Link) QueueLen() int {
+	n := l.queue.len() + l.prioQueue.len()
+	if l.sched != nil {
+		n += l.sched.Len()
+	}
+	return n
+}
 
 // QueuedBytes returns the bytes waiting in the queue.
 func (l *Link) QueuedBytes() units.DataSize { return l.queuedBytes }
@@ -200,14 +223,24 @@ func (l *Link) Send(f *Frame) bool {
 		return false
 	}
 	f.enqueuedAt = l.clock.Now()
-	if f.Priority {
+	switch {
+	case f.Priority:
 		l.prioQueue.push(f)
-	} else {
+	case l.sched != nil:
+		if !l.sched.Push(f) {
+			l.stats.SchedDrops++
+			if l.OnDrop != nil {
+				l.OnDrop(f, DropSched)
+			}
+			l.pool.Put(f)
+			return false
+		}
+	default:
 		l.queue.push(f)
 	}
 	l.queuedBytes += f.Size
 	l.stats.Enqueued++
-	if n := l.queue.len() + l.prioQueue.len(); n > l.stats.MaxQueueLen {
+	if n := l.QueueLen(); n > l.stats.MaxQueueLen {
 		l.stats.MaxQueueLen = n
 	}
 	if !l.busy {
@@ -216,8 +249,8 @@ func (l *Link) Send(f *Frame) bool {
 	return true
 }
 
-// transmitNext pops the next frame — control before data, FIFO within
-// each class — and serializes it.
+// transmitNext pops the next frame — control before data, FIFO (or the
+// installed scheduler's pick) within each class — and serializes it.
 func (l *Link) transmitNext() {
 	var f *Frame
 	switch {
@@ -225,6 +258,8 @@ func (l *Link) transmitNext() {
 		f = l.prioQueue.pop()
 	case l.queue.len() > 0:
 		f = l.queue.pop()
+	case l.sched != nil && l.sched.Len() > 0:
+		f = l.sched.Pop()
 	default:
 		l.busy = false
 		return

@@ -12,18 +12,59 @@ import (
 	"circuitstart/internal/cell"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/onion"
+	"circuitstart/internal/resource"
+	"circuitstart/internal/sched"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/transport"
 )
 
-// Stats counts relay-level activity across all circuits.
+// Stats counts relay-level activity across all circuits. Admission
+// refusals and scheduler (policer) drops are counted separately from
+// the link-level tail drops in the port's LinkStats, so overload
+// diagnostics aren't conflated with queue overflow.
 type Stats struct {
-	CellsForwarded uint64 // cells passed to an onward sender
-	Recognized     uint64 // cells that fully decrypted at this relay
-	Corrupt        uint64 // recognized cells failing digest verification
-	UnknownCircuit uint64 // frames for circuits this relay doesn't carry
-	UnknownSource  uint64 // frames from nodes that are neither pred nor succ
-	FailedDrops    uint64 // frames blackholed while the relay was failed
+	CellsForwarded    uint64 // cells passed to an onward sender
+	Recognized        uint64 // cells that fully decrypted at this relay
+	Corrupt           uint64 // recognized cells failing digest verification
+	UnknownCircuit    uint64 // frames for circuits this relay doesn't carry
+	UnknownSource     uint64 // frames from nodes that are neither pred nor succ
+	FailedDrops       uint64 // frames blackholed while the relay was failed
+	AdmissionRejected uint64 // hops refused by the resource manager
+	SchedDrops        uint64 // frames dropped by the uplink scheduler/policer
+}
+
+// Config selects the relay's uplink scheduling discipline and resource
+// limits. The zero value — FIFO, unlimited — leaves the relay
+// byte-identical to an unconfigured one.
+type Config struct {
+	// Scheduler names the uplink data-frame discipline: "" or "fifo"
+	// keep the link's built-in FIFO ring, "ewma" installs the Tor-style
+	// quiet-circuit priority scheduler (sched.EWMA).
+	Scheduler string
+	// HalfLife is the EWMA decay half-life (0 = sched.DefaultHalfLife).
+	// Ignored for FIFO.
+	HalfLife sim.Time
+	// Limits caps the relay's circuits, buffered cell memory and uplink
+	// bandwidth (see resource.Limits; the zero value is unlimited).
+	Limits resource.Limits
+}
+
+// Enabled reports whether the config changes anything over the default.
+func (c Config) Enabled() bool {
+	return (c.Scheduler != "" && c.Scheduler != "fifo") || c.Limits.Enabled()
+}
+
+// Validate rejects unknown scheduler names and malformed limits.
+func (c Config) Validate() error {
+	switch c.Scheduler {
+	case "", "fifo", "ewma":
+	default:
+		return fmt.Errorf("relay: unknown scheduler %q (want fifo or ewma)", c.Scheduler)
+	}
+	if c.HalfLife < 0 {
+		return fmt.Errorf("relay: negative scheduler half-life %v", c.HalfLife)
+	}
+	return c.Limits.Validate()
 }
 
 // hop is one circuit's state at this relay: an independent transport
@@ -54,6 +95,12 @@ type Relay struct {
 	hops   map[cell.CircID]*hop
 	stats  Stats
 	failed bool
+
+	// Resource management and scheduling, nil/absent by default (see
+	// Configure). mgr enforces Config.Limits; sched is the installed
+	// uplink scheduler, held concretely so RemoveHop can Forget circuits.
+	mgr   *resource.Manager
+	sched sched.Queue
 }
 
 // New creates a relay and attaches it to the fabric.
@@ -67,6 +114,45 @@ func New(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig, rng *sim.
 	return r
 }
 
+// Configure applies a scheduling/limits config to a fresh relay:
+// non-FIFO disciplines (or a bandwidth cap) install a scheduler on the
+// uplink, and enabled limits create the resource manager that AddHop
+// consults. kill is invoked when a limit policy evicts a circuit; it
+// must tear the circuit down across the whole network (core.Network
+// wires its circuit teardown here). Configure must run before any
+// circuit is added; calling it with a zero config is a no-op.
+func (r *Relay) Configure(cfg Config, kill func(circ cell.CircID)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(r.hops) > 0 {
+		return fmt.Errorf("relay %s: Configure after circuits were added", r.id)
+	}
+	var q sched.Queue
+	if cfg.Scheduler == "ewma" {
+		q = sched.NewEWMA(r.clock, cfg.HalfLife.Duration())
+	}
+	if cfg.Limits.Bandwidth > 0 {
+		if q == nil {
+			q = sched.NewFIFO()
+		}
+		q = sched.NewPolice(q, r.clock, cfg.Limits.Bandwidth, cfg.Limits.Burst)
+	}
+	if q != nil {
+		r.sched = q
+		r.port.Uplink().SetScheduler(q)
+	}
+	if cfg.Limits.Enabled() {
+		r.mgr = resource.NewManager(r.clock, cfg.Limits)
+		r.mgr.OnKill(kill)
+	}
+	return nil
+}
+
+// Resources returns the relay's resource manager, or nil when the
+// relay runs unlimited.
+func (r *Relay) Resources() *resource.Manager { return r.mgr }
+
 // ID returns the relay's node ID.
 func (r *Relay) ID() netem.NodeID { return r.id }
 
@@ -74,8 +160,17 @@ func (r *Relay) ID() netem.NodeID { return r.id }
 // and experiments).
 func (r *Relay) Port() *netem.Port { return r.port }
 
-// Stats returns a snapshot of the relay counters.
-func (r *Relay) Stats() Stats { return r.stats }
+// Stats returns a snapshot of the relay counters, folding in the
+// resource manager's admission refusals and the uplink scheduler's
+// drops so callers see them beside the forwarding counters.
+func (r *Relay) Stats() Stats {
+	st := r.stats
+	if r.mgr != nil {
+		st.AdmissionRejected = r.mgr.Stats().Rejected
+	}
+	st.SchedDrops = r.port.Uplink().Stats().SchedDrops
+	return st
+}
 
 // Fail takes the relay out of service: every frame delivered to it —
 // data, ACKs, feedback, for any circuit — is blackholed (counted in
@@ -127,8 +222,8 @@ func (r *Relay) HopReceiver(circ cell.CircID) *transport.Receiver {
 }
 
 // AddForwardHop registers a forward-only circuit hop (see AddHop).
-func (r *Relay) AddForwardHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.HopKeys, params transport.Config) {
-	r.AddHop(circ, pred, succ, keys, params, false)
+func (r *Relay) AddForwardHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.HopKeys, params transport.Config) bool {
+	return r.AddHop(circ, pred, succ, keys, params, false)
 }
 
 // AddHop registers a circuit through this relay, in both directions.
@@ -137,12 +232,19 @@ func (r *Relay) AddForwardHop(circ cell.CircID, pred, succ netem.NodeID, keys *o
 // gain one layer (the exit relay seals the plaintext first), and are
 // forwarded to pred. params is a template whose Clock, Circ, Send and
 // OnFirstTransmit fields are filled in here, once per direction.
-func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.HopKeys, params transport.Config, exit bool) {
+//
+// AddHop reports whether the circuit was admitted: a relay configured
+// with resource limits may refuse it (or evict another circuit to make
+// room, under a kill policy). Unlimited relays always admit.
+func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.HopKeys, params transport.Config, exit bool) bool {
 	if _, dup := r.hops[circ]; dup {
 		panic(fmt.Sprintf("relay %s: circuit %d added twice", r.id, circ))
 	}
 	if keys == nil {
 		panic(fmt.Sprintf("relay %s: circuit %d without hop keys", r.id, circ))
+	}
+	if r.mgr != nil && !r.mgr.Admit(circ) {
+		return false
 	}
 	h := &hop{circ: circ, pred: pred, succ: succ, keys: keys, exit: exit}
 
@@ -158,6 +260,11 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	// upstream as FEEDBACK.
 	fwd.OnFirstTransmit = func(count uint64) {
 		h.recv.NotifyForwarded(count)
+	}
+	if r.mgr != nil {
+		// Memory accounting: both directions' senders report their held
+		// cells (queued + retained) to the manager.
+		fwd.OnHeld = func(delta int) { r.mgr.Held(circ, delta) }
 	}
 	h.send = transport.NewSender(fwd)
 
@@ -179,6 +286,9 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	back.OnFirstTransmit = func(count uint64) {
 		h.brecv.NotifyForwarded(count)
 	}
+	if r.mgr != nil {
+		back.OnHeld = func(delta int) { r.mgr.Held(circ, delta) }
+	}
 	h.bsend = transport.NewSender(back)
 
 	h.brecv = transport.NewReceiver(circ,
@@ -190,6 +300,7 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	)
 
 	r.hops[circ] = h
+	return true
 }
 
 // RemoveHop tears a circuit's state out of the relay, in both
@@ -210,15 +321,24 @@ func (r *Relay) RemoveHop(circ cell.CircID) bool {
 	h.recv.Close()
 	h.brecv.Close()
 	delete(r.hops, circ)
+	if r.mgr != nil {
+		// The senders' Close just reported their held cells back through
+		// OnHeld; now drop the circuit's admission slot.
+		r.mgr.Release(circ)
+	}
+	if r.sched != nil {
+		r.sched.Forget(uint32(circ))
+	}
 	return true
 }
 
 // sendSegment transmits a hop segment, giving control segments (ACK,
 // FEEDBACK, PROBE) link priority so congestion feedback is not delayed
-// by the data queues it describes.
+// by the data queues it describes. Data frames carry their circuit ID
+// so installed circuit schedulers can tell flows apart.
 func sendSegment(p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
 	if seg.Kind == transport.KindData {
-		return p.Send(dst, seg.WireSize(), seg)
+		return p.SendCirc(dst, seg.WireSize(), seg, uint32(seg.Circ))
 	}
 	return p.SendPriority(dst, seg.WireSize(), seg)
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -144,14 +145,16 @@ func (sc *Scenario) relayIDSet() map[netem.NodeID]bool {
 // transfer, and the download's TTLB spans first start to final
 // completion — so repeated startups show up in the distribution.
 type download struct {
-	index   int
-	circuit *core.Circuit
-	startAt sim.Time // first transfer start
-	started bool
-	done    bool
-	aborted bool
-	ttlb    time.Duration
-	rebuild int
+	index    int
+	circuit  *core.Circuit
+	startAt  sim.Time // first transfer start
+	started  bool
+	done     bool
+	aborted  bool
+	killed   bool // evicted by a relay's resource manager
+	rejected bool // refused at circuit admission
+	ttlb     time.Duration
+	rebuild  int
 }
 
 // churnEngine drives one trial's dynamic circuit lifecycle on a single
@@ -200,8 +203,8 @@ func runChurn(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetS
 		}
 		e.n, initial, e.access = n, circuits, access
 	}
-	e.churn.Built += len(initial)
 	scheduleEvents(e.n, sc.Events)
+	e.watchKills()
 
 	// Initial downloads follow the scenario's declared arrival process,
 	// drawn from the runner's own streams ("scenario-starts" /
@@ -209,10 +212,28 @@ func runChurn(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetS
 	// static generated-population path, whose together/uniform arrivals
 	// go through workload.Scenario.Run and its "workload-starts" stream
 	// — enabling churn is allowed to change the realized start times.
+	// A nil slot is a circuit refused at admission by a resource-limited
+	// relay; its download is recorded as rejected and never starts.
 	delays := arrivalDelays(seed, sc.Circuits, len(initial))
 	for i, c := range initial {
 		d := &download{index: i, circuit: c}
 		e.downloads = append(e.downloads, d)
+		if c == nil {
+			d.aborted, d.rejected = true, true
+			e.churn.Aborted++
+			e.churn.Rejected++
+			continue
+		}
+		e.churn.Built++
+		if c.Closed() {
+			// Evicted at build time (admission kill), before the kill
+			// observer was installed — account the lifecycle here.
+			d.aborted, d.killed = true, true
+			e.churn.Aborted++
+			e.churn.TornDown++
+			e.churn.Lifetime.Add(c.Lifetime().Seconds())
+			continue
+		}
 		e.scheduleStart(d, delays[i])
 	}
 
@@ -269,12 +290,31 @@ func (e *churnEngine) scheduleStart(d *download, delay time.Duration) {
 // startTransfer begins (or, after a rebuild, restarts) d's transfer on
 // its current circuit.
 func (e *churnEngine) startTransfer(d *download) {
+	size := e.sc.Circuits.sizeFor(d.index)
 	onDone := func(time.Duration) { e.complete(d) }
 	if e.sc.Circuits.Download {
-		d.circuit.TransferBackward(e.sc.Circuits.TransferSize, onDone)
+		d.circuit.TransferBackward(size, onDone)
 	} else {
-		d.circuit.Transfer(e.sc.Circuits.TransferSize, onDone)
+		d.circuit.Transfer(size, onDone)
 	}
+}
+
+// watchKills observes resource-manager evictions. The kill path tears
+// the circuit down directly (bypassing e.teardown), so the lifecycle
+// accounting happens here, and the victim's download is marked killed
+// rather than left looking stalled.
+func (e *churnEngine) watchKills() {
+	e.n.OnKill(func(c *core.Circuit) {
+		for _, d := range e.downloads {
+			if d.circuit == c && !d.done && !d.aborted {
+				d.aborted, d.killed = true, true
+				e.churn.Aborted++
+				break
+			}
+		}
+		e.churn.TornDown++
+		e.churn.Lifetime.Add(c.Lifetime().Seconds())
+	})
 }
 
 // arrive builds a fresh circuit for churn download d and starts it.
@@ -314,6 +354,11 @@ func (e *churnEngine) buildFresh(d *download) bool {
 	}
 	c, err := e.buildCircuit(d, path)
 	if err != nil {
+		if errors.Is(err, core.ErrCircuitRejected) {
+			d.rejected = true
+			e.churn.Rejected++
+			return abort()
+		}
 		// Building over declared relays cannot fail after validation;
 		// treat a failure as an aborted download rather than a panic.
 		return abort()
@@ -452,6 +497,8 @@ func (e *churnEngine) collect(rep int) []CircuitOutcome {
 			TTLB:        d.ttlb,
 			Done:        d.done,
 			Aborted:     d.aborted,
+			Killed:      d.killed,
+			Rejected:    d.rejected,
 			StartAt:     d.startAt,
 			Rebuilds:    d.rebuild,
 		}

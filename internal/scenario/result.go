@@ -7,6 +7,7 @@ import (
 
 	"circuitstart/internal/metrics"
 	"circuitstart/internal/netem"
+	"circuitstart/internal/resource"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/traceio"
 )
@@ -31,12 +32,20 @@ type NetStats struct {
 	// Trunks pools each backbone trunk's LinkStats, in the fabric's
 	// deterministic trunk order (empty on a star).
 	Trunks []TrunkStat
+	// Resource pools the relays' resource-manager counters (admissions,
+	// rejections, kills, memory high-water; zero without limits).
+	Resource resource.Stats
+	// SchedDrops counts frames dropped by installed circuit schedulers
+	// (bandwidth policers) — distinct from link-level tail drops.
+	SchedDrops uint64
 }
 
 // merge pools another trial's fabric accounting into s.
 func (s *NetStats) merge(o NetStats) {
 	s.UnknownDst += o.UnknownDst
 	s.Unroutable += o.Unroutable
+	s.Resource.Merge(o.Resource)
+	s.SchedDrops += o.SchedDrops
 	if len(s.Trunks) == 0 {
 		s.Trunks = append(s.Trunks, o.Trunks...)
 		return
@@ -63,8 +72,12 @@ type ChurnStats struct {
 	// Rebuilt counts circuits rebuilt after a relay failure.
 	Rebuilt int
 	// Aborted counts downloads torn down before completing (scheduled
-	// teardowns, or relay failures on arms without Rebuild).
+	// teardowns, relay failures on arms without Rebuild, or
+	// resource-limit kills and admission rejections).
 	Aborted int
+	// Rejected counts circuit builds refused at admission by a relay's
+	// resource manager (also counted in Aborted).
+	Rejected int
 	// Lifetime pools the lifetime in seconds of every torn-down
 	// circuit across replications.
 	Lifetime *metrics.Distribution
@@ -76,6 +89,7 @@ func (s *ChurnStats) merge(o ChurnStats) {
 	s.TornDown += o.TornDown
 	s.Rebuilt += o.Rebuilt
 	s.Aborted += o.Aborted
+	s.Rejected += o.Rejected
 	if s.Lifetime != nil && o.Lifetime != nil {
 		for _, v := range o.Lifetime.Sorted() {
 			s.Lifetime.Add(v)
@@ -110,6 +124,12 @@ type CircuitOutcome struct {
 	// Rebuilds counts the download's circuit rebuilds after relay
 	// failures (churn scenarios only).
 	Rebuilds int
+	// Killed reports the circuit was evicted by a relay's resource
+	// manager before its transfer completed.
+	Killed bool
+	// Rejected reports the circuit was refused at admission by a relay's
+	// resource manager — it never carried a cell.
+	Rejected bool
 	// Trace is the source's cwnd series in cells (nil unless
 	// Probes.TraceCwnd was set).
 	Trace *metrics.Series
@@ -141,6 +161,11 @@ type ArmResult struct {
 	// nil Lifetime, on scenarios without churn).
 	Churn ChurnStats
 }
+
+// JainTTLB returns Jain's fairness index over the arm's pooled
+// per-circuit TTLB samples — near 1 when circuits finished in
+// comparable time, near 1/n when one starved the rest.
+func (a *ArmResult) JainTTLB() float64 { return a.TTLB.JainIndex() }
 
 // Result is the aggregated outcome of a Runner.Run.
 type Result struct {
@@ -197,6 +222,9 @@ func (r *Result) WriteText(w io.Writer) error {
 	if err := r.writeChurn(w); err != nil {
 		return err
 	}
+	if err := r.writeResources(w); err != nil {
+		return err
+	}
 	for i := range r.Arms {
 		arm := &r.Arms[i]
 		if arm.Net.UnknownDst > 0 || arm.Net.Unroutable > 0 {
@@ -239,14 +267,38 @@ func (r *Result) writeChurn(w io.Writer) error {
 	if !hasChurn {
 		return nil
 	}
-	tbl := traceio.NewTable("arm", "built", "torn_down", "rebuilt", "aborted", "median_life_s")
+	tbl := traceio.NewTable("arm", "built", "torn_down", "rebuilt", "aborted", "rejected", "median_life_s")
 	for i := range r.Arms {
 		c := &r.Arms[i].Churn
 		life := "-"
 		if c.Lifetime != nil && c.Lifetime.Len() > 0 {
 			life = fmt.Sprintf("%.3f", c.Lifetime.Median())
 		}
-		tbl.AddRowf(r.Arms[i].Name, c.Built, c.TornDown, c.Rebuilt, c.Aborted, life)
+		tbl.AddRowf(r.Arms[i].Name, c.Built, c.TornDown, c.Rebuilt, c.Aborted, c.Rejected, life)
+	}
+	return tbl.WriteText(w)
+}
+
+// writeResources renders the per-arm fairness and resource-pressure
+// table. It is emitted only when some arm configures a scheduler or
+// resource limits, so pre-existing scenario outputs are unchanged byte
+// for byte.
+func (r *Result) writeResources(w io.Writer) error {
+	enabled := false
+	for _, a := range r.Scenario.Arms {
+		if a.Relay.Enabled() {
+			enabled = true
+		}
+	}
+	if !enabled {
+		return nil
+	}
+	tbl := traceio.NewTable("arm", "jain_ttlb", "admitted", "rejected", "killed", "mem_hw", "sched_drops")
+	for i := range r.Arms {
+		arm := &r.Arms[i]
+		rs := arm.Net.Resource
+		tbl.AddRowf(arm.Name, fmt.Sprintf("%.3f", arm.JainTTLB()),
+			rs.Admitted, rs.Rejected, rs.Killed, rs.MemHighWater.String(), arm.Net.SchedDrops)
 	}
 	return tbl.WriteText(w)
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -80,9 +81,10 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 			switch {
 			case o.Done:
 				arm.TTLB.Add(o.TTLB.Seconds())
-			case o.Aborted:
-				// Counted in Churn.Aborted, not Incomplete: the
-				// teardown was deliberate, not a stalled transfer.
+			case o.Aborted, o.Killed, o.Rejected:
+				// Counted in Churn.Aborted / the resource counters, not
+				// Incomplete: the teardown (or refusal) was deliberate,
+				// not a stalled transfer.
 			default:
 				arm.Incomplete++
 			}
@@ -133,10 +135,16 @@ func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, 
 	return out, net, churn, err
 }
 
-// netStats snapshots the fabric accounting after a trial has run.
+// netStats snapshots the fabric and resource accounting after a trial
+// has run.
 func netStats(n *core.Network) NetStats {
 	fab := n.Fabric()
-	st := NetStats{UnknownDst: fab.UnknownDst(), Unroutable: fab.Unroutable()}
+	st := NetStats{
+		UnknownDst: fab.UnknownDst(),
+		Unroutable: fab.Unroutable(),
+		Resource:   n.ResourceStats(),
+		SchedDrops: n.SchedDrops(),
+	}
 	for _, l := range fab.Trunks() {
 		st.Trunks = append(st.Trunks, TrunkStat{Name: l.Name(), Stats: l.Stats()})
 	}
@@ -173,17 +181,25 @@ func workloadParams(sc Scenario, arm Arm) workload.ScenarioParams {
 	if sc.Circuits.Arrival.Kind == ArriveUniform {
 		spread = sc.Circuits.Arrival.Spread
 	}
+	// With a SizeMix-only workload the transfers are driven by
+	// runTransfers (per-circuit sizeFor), but Build still validates a
+	// positive TransferSize — hand it the first mix entry.
+	size := sc.Circuits.TransferSize
+	if size <= 0 {
+		size = sc.Circuits.sizeFor(0)
+	}
 	return workload.ScenarioParams{
 		Relays:         *sc.Topology.Population,
 		Circuits:       sc.Circuits.Count,
 		HopsPerCircuit: sc.Circuits.Hops,
-		TransferSize:   sc.Circuits.TransferSize,
+		TransferSize:   size,
 		Transport:      arm.Transport,
 		ClientAccess:   sc.ClientAccess,
 		StartSpread:    spread,
 		Download:       sc.Circuits.Download,
 		TraceCwnd:      sc.Probes.TraceCwnd,
 		Fabric:         sc.Topology.Fabric,
+		RelayConfig:    arm.Relay,
 	}
 }
 
@@ -197,7 +213,7 @@ func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, 
 		return nil, NetStats{}, err
 	}
 	scheduleEvents(wsc.Network, sc.Events)
-	if sc.Circuits.Arrival.Kind == ArrivePoisson {
+	if sc.Circuits.Arrival.Kind == ArrivePoisson || len(sc.Circuits.SizeMix) > 0 {
 		runTransfers(wsc.Network, wsc.Circuits, sc.Circuits, seed, sc.Horizon, false)
 	} else {
 		wsc.Run(sc.Horizon)
@@ -219,6 +235,9 @@ func buildExplicit(sc Scenario, arm Arm, seed int64) (*core.Network, []*core.Cir
 		})
 	} else {
 		n = core.NewNetwork(seed)
+	}
+	if err := n.ConfigureRelays(arm.Relay); err != nil {
+		return nil, nil, netem.AccessConfig{}, err
 	}
 	for _, r := range sc.Topology.Relays {
 		if _, err := n.AddRelay(r.ID, r.Access); err != nil {
@@ -246,6 +265,12 @@ func buildExplicit(sc Scenario, arm Arm, seed int64) (*core.Network, []*core.Cir
 			TraceCwnd:    sc.Probes.TraceCwnd,
 		})
 		if err != nil {
+			if errors.Is(err, core.ErrCircuitRejected) {
+				// A relay at its circuit cap refused the build under a
+				// reject-new policy; the slot stays nil and is reported
+				// as a rejected outcome.
+				continue
+			}
 			return nil, nil, netem.AccessConfig{}, fmt.Errorf("circuit %d: %w", i, err)
 		}
 		circuits[i] = c
@@ -268,26 +293,56 @@ func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, N
 
 // runTransfers starts every circuit's transfer per the arrival process
 // and executes the simulation. Unless fullHorizon is set, the clock
-// stops as soon as the last transfer completes.
+// stops as soon as the last transfer completes — a resource-limit kill
+// counts its circuit as finished so an eviction cannot stall the stop.
+// Circuits rejected at admission (nil slots) never start.
 func runTransfers(n *core.Network, circuits []*core.Circuit, cs CircuitSet, seed int64, horizon sim.Time, fullHorizon bool) {
 	delays := arrivalDelays(seed, cs, len(circuits))
-	remaining := len(circuits)
+	remaining := 0
+	for _, c := range circuits {
+		if c != nil {
+			remaining++
+		}
+	}
+	finished := make([]bool, len(circuits))
+	finish := func(i int) {
+		if finished[i] {
+			return
+		}
+		finished[i] = true
+		remaining--
+		if remaining == 0 && !fullHorizon {
+			n.Clock().Stop()
+		}
+	}
+	idx := make(map[*core.Circuit]int, len(circuits))
 	for i, c := range circuits {
-		circ := c
+		if c != nil {
+			idx[c] = i
+		}
+	}
+	n.OnKill(func(c *core.Circuit) {
+		if i, ok := idx[c]; ok {
+			finish(i)
+		}
+	})
+	for i, c := range circuits {
+		if c == nil {
+			continue
+		}
+		i, circ := i, c
 		start := func() {
-			var done func(time.Duration)
-			if !fullHorizon {
-				done = func(time.Duration) {
-					remaining--
-					if remaining == 0 {
-						n.Clock().Stop()
-					}
-				}
+			if circ.Closed() {
+				// Evicted before its start (admission kill at build
+				// time, or mid-stagger); nothing left to transfer.
+				finish(i)
+				return
 			}
+			done := func(time.Duration) { finish(i) }
 			if cs.Download {
-				circ.TransferBackward(cs.TransferSize, done)
+				circ.TransferBackward(cs.sizeFor(i), done)
 			} else {
-				circ.Transfer(cs.TransferSize, done)
+				circ.Transfer(cs.sizeFor(i), done)
 			}
 		}
 		if delays[i] == 0 {
@@ -321,16 +376,22 @@ func arrivalDelays(seed int64, cs CircuitSet, n int) []time.Duration {
 	return out
 }
 
-// collect extracts one outcome per circuit after a trial has run.
+// collect extracts one outcome per circuit after a trial has run. A nil
+// slot is a circuit refused at admission; it is reported as Rejected.
 func collect(circuits []*core.Circuit, rep int, traced bool) []CircuitOutcome {
 	out := make([]CircuitOutcome, len(circuits))
 	for i, c := range circuits {
+		if c == nil {
+			out[i] = CircuitOutcome{Replication: rep, Index: i, Rejected: true}
+			continue
+		}
 		ttlb, done := c.TTLB()
 		o := CircuitOutcome{
 			Replication:  rep,
 			Index:        i,
 			TTLB:         ttlb,
 			Done:         done,
+			Killed:       c.Killed() && !done,
 			OptimalCells: c.ModelPath().OptimalSourceWindowCells(),
 		}
 		st := c.SourceSender().Stats()

@@ -26,6 +26,7 @@ import (
 
 	"circuitstart/internal/core"
 	"circuitstart/internal/netem"
+	"circuitstart/internal/relay"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/units"
 	"circuitstart/internal/workload"
@@ -95,6 +96,11 @@ type CircuitSet struct {
 	Hops int
 	// TransferSize is the fixed transfer per circuit.
 	TransferSize units.DataSize
+	// SizeMix, when set, assigns transfer sizes round-robin by circuit
+	// index — circuit i transfers SizeMix[i mod len(SizeMix)]. The
+	// overload experiments use it to interleave interactive and bulk
+	// circuits on one bottleneck. When set, TransferSize may be zero.
+	SizeMix []units.DataSize
 	// Download runs transfers in the backward direction
 	// (server → client through the onion).
 	Download bool
@@ -116,6 +122,10 @@ type Arm struct {
 	// scratch — paying a full circuit startup again. Requires a
 	// generated Population topology.
 	Rebuild bool
+	// Relay configures every relay's circuit scheduler and resource
+	// limits under this arm. The zero value is the byte-identical
+	// default: FIFO scheduling, no caps.
+	Relay relay.Config
 }
 
 // Probes selects per-circuit instrumentation.
@@ -206,6 +216,9 @@ func (sc *Scenario) validate() error {
 			return fmt.Errorf("scenario: duplicate arm %q", a.Name)
 		}
 		seen[a.Name] = true
+		if err := a.Relay.Validate(); err != nil {
+			return fmt.Errorf("scenario: arm %q: %w", a.Name, err)
+		}
 	}
 	if sc.Horizon <= 0 {
 		return fmt.Errorf("scenario: non-positive horizon")
@@ -216,8 +229,13 @@ func (sc *Scenario) validate() error {
 	if sc.Replications == 0 {
 		sc.Replications = 1
 	}
-	if sc.Circuits.TransferSize <= 0 {
+	if sc.Circuits.TransferSize <= 0 && len(sc.Circuits.SizeMix) == 0 {
 		return fmt.Errorf("scenario: transfer size %v", sc.Circuits.TransferSize)
+	}
+	for i, s := range sc.Circuits.SizeMix {
+		if s <= 0 {
+			return fmt.Errorf("scenario: size mix entry %d is %v", i, s)
+		}
 	}
 	if sc.Topology.Fabric != nil {
 		if err := sc.Topology.Fabric.Validate(); err != nil {
@@ -319,4 +337,13 @@ func (cs CircuitSet) path(i int) []netem.NodeID {
 		return cs.Paths[0]
 	}
 	return cs.Paths[i]
+}
+
+// sizeFor returns circuit i's transfer size: the round-robin SizeMix
+// entry when a mix is declared, TransferSize otherwise.
+func (cs CircuitSet) sizeFor(i int) units.DataSize {
+	if len(cs.SizeMix) > 0 {
+		return cs.SizeMix[i%len(cs.SizeMix)]
+	}
+	return cs.TransferSize
 }

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"circuitstart/internal/netem"
+	relaypkg "circuitstart/internal/relay"
+	"circuitstart/internal/resource"
 	"circuitstart/internal/scenario"
 	"circuitstart/internal/transport"
 	"circuitstart/internal/units"
@@ -236,6 +238,49 @@ func ChurnRates(rates ...float64) Dimension {
 					return fmt.Errorf("churn-rate axis needs CircuitEvents.Arrivals set on the base scenario")
 				}
 				sc.CircuitEvents.ArrivalRate = r
+				return nil
+			},
+		})
+	}
+	return d
+}
+
+// DimScheduler returns a dimension sweeping the relay circuit-scheduler
+// discipline ("fifo" or "ewma") on every arm. Names are validated
+// eagerly, so a typo fails at grid construction, not inside a worker.
+func DimScheduler(names ...string) (Dimension, error) {
+	d := Dimension{Name: "scheduler"}
+	for _, name := range names {
+		name := name
+		if err := (relaypkg.Config{Scheduler: name}).Validate(); err != nil {
+			return Dimension{}, fmt.Errorf("sweep: %w", err)
+		}
+		d.Values = append(d.Values, Value{
+			Label: name,
+			Apply: func(sc *scenario.Scenario) error {
+				for i := range sc.Arms {
+					sc.Arms[i].Relay.Scheduler = name
+				}
+				return nil
+			},
+		})
+	}
+	return d, nil
+}
+
+// DimRelayCaps returns a dimension sweeping the per-relay resource
+// limits on every arm. A zero Limits value is the uncapped baseline;
+// labels come from Limits.Label.
+func DimRelayCaps(caps ...resource.Limits) Dimension {
+	d := Dimension{Name: "relay_caps"}
+	for _, l := range caps {
+		l := l
+		d.Values = append(d.Values, Value{
+			Label: l.Label(),
+			Apply: func(sc *scenario.Scenario) error {
+				for i := range sc.Arms {
+					sc.Arms[i].Relay.Limits = l
+				}
 				return nil
 			},
 		})

@@ -32,6 +32,17 @@ type ArmPoint struct {
 	// Built, TornDown, Rebuilt and Aborted pool the arm's
 	// circuit-lifecycle counters (zero without churn).
 	Built, TornDown, Rebuilt, Aborted int
+	// Jain is Jain's fairness index over the arm's pooled per-circuit
+	// TTLB samples (0 when no transfer completed).
+	Jain float64
+	// AdmissionRejected, Killed and SchedDrops pool the arm's
+	// resource-pressure counters: circuits refused at admission,
+	// circuits evicted by relay resource managers, and frames dropped
+	// by installed schedulers (zero without limits).
+	AdmissionRejected, Killed, SchedDrops uint64
+	// MemHighWater is the largest per-relay held-cell memory observed
+	// across the arm's trials, in bytes.
+	MemHighWater int64
 }
 
 // PointResult is one executed grid point: the point itself, its
@@ -61,6 +72,12 @@ func armPoints(res *scenario.Result) []ArmPoint {
 			TornDown:   a.Churn.TornDown,
 			Rebuilt:    a.Churn.Rebuilt,
 			Aborted:    a.Churn.Aborted,
+
+			Jain:              a.JainTTLB(),
+			AdmissionRejected: a.Net.Resource.Rejected,
+			Killed:            a.Net.Resource.Killed,
+			SchedDrops:        a.Net.SchedDrops,
+			MemHighWater:      int64(a.Net.Resource.MemHighWater),
 		}
 		var exitSum float64
 		exits := metrics.NewDistribution("exit_time")

@@ -40,6 +40,7 @@ var metricColumns = []string{
 	"exit_cwnd", "exit_time_s", "restarts",
 	"unknown_dst", "unroutable", "trunk_drops",
 	"built", "torn_down", "rebuilt", "aborted",
+	"jain_ttlb", "adm_rejected", "killed", "sched_drops", "mem_hw_bytes",
 }
 
 // metricCells renders one ArmPoint in metricColumns order.
@@ -50,6 +51,7 @@ func metricCells(ap *ArmPoint) []any {
 		ap.ExitCwndMean, ap.ExitTimeMedian, ap.Restarts,
 		ap.UnknownDst, ap.Unroutable, ap.TrunkDrops,
 		ap.Built, ap.TornDown, ap.Rebuilt, ap.Aborted,
+		ap.Jain, ap.AdmissionRejected, ap.Killed, ap.SchedDrops, ap.MemHighWater,
 	}
 }
 
@@ -139,6 +141,11 @@ type JSONLRow struct {
 	TornDown   int               `json:"torn_down"`
 	Rebuilt    int               `json:"rebuilt"`
 	Aborted    int               `json:"aborted"`
+	Jain       float64           `json:"jain_ttlb"`
+	AdmRejects uint64            `json:"adm_rejected"`
+	Killed     uint64            `json:"killed"`
+	SchedDrops uint64            `json:"sched_drops"`
+	MemHW      int64             `json:"mem_hw_bytes"`
 }
 
 // JSONLSink streams a metadata header line followed by one JSON line
@@ -191,6 +198,8 @@ func (s *JSONLSink) Point(pr *PointResult) error {
 			ExitCwnd: ap.ExitCwndMean, ExitTime: ap.ExitTimeMedian, Restarts: ap.Restarts,
 			UnknownDst: ap.UnknownDst, Unroutable: ap.Unroutable, TrunkDrops: ap.TrunkDrops,
 			Built: ap.Built, TornDown: ap.TornDown, Rebuilt: ap.Rebuilt, Aborted: ap.Aborted,
+			Jain: ap.Jain, AdmRejects: ap.AdmissionRejected, Killed: ap.Killed,
+			SchedDrops: ap.SchedDrops, MemHW: ap.MemHighWater,
 		}
 		if err := s.js.Write(row); err != nil {
 			return err

@@ -115,6 +115,11 @@ type Config struct {
 	// transmitted for the first time. Relays wire this to the upstream
 	// receiver's feedback ("this cell is moving").
 	OnFirstTransmit func(count uint64)
+	// OnHeld, if set, observes changes to the number of cells this
+	// sender holds — queued awaiting first transmission plus retained
+	// for retransmission. Relays wire it to the resource manager's
+	// per-circuit memory accounting; Close reports the final release.
+	OnHeld func(delta int)
 }
 
 // SenderStats counts sender activity.
@@ -288,6 +293,11 @@ func (s *Sender) Close(release func(*cell.Cell)) {
 	s.rtoTimer.Stop()
 	s.probeTimer.Stop()
 	s.exitTimer.Stop()
+	if s.cfg.OnHeld != nil {
+		if held := len(s.queue) + len(s.retain); held > 0 {
+			s.cfg.OnHeld(-held)
+		}
+	}
 	for i, c := range s.queue {
 		if release != nil {
 			release(c)
@@ -591,6 +601,9 @@ func (s *Sender) Enqueue(c *cell.Cell) {
 		panic("transport: Enqueue on a closed sender")
 	}
 	s.queue = append(s.queue, c)
+	if s.cfg.OnHeld != nil {
+		s.cfg.OnHeld(1)
+	}
 	s.pump()
 	s.updateProbeTimer()
 }
@@ -736,6 +749,9 @@ func (s *Sender) HandleAck(count uint64) {
 		}
 	}
 	s.acked = count
+	if s.cfg.OnHeld != nil {
+		s.cfg.OnHeld(-newly)
+	}
 
 	if s.Unacked() == 0 {
 		s.rtoTimer.Stop()

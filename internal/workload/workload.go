@@ -11,12 +11,14 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"circuitstart/internal/core"
 	"circuitstart/internal/directory"
 	"circuitstart/internal/netem"
+	"circuitstart/internal/relay"
 	"circuitstart/internal/sim"
 	"circuitstart/internal/units"
 )
@@ -172,6 +174,11 @@ type ScenarioParams struct {
 	// TraceCwnd records per-circuit window traces (memory-heavy; only
 	// the single-circuit figures need it).
 	TraceCwnd bool
+	// RelayConfig configures every generated relay's circuit scheduler
+	// and resource limits. The zero value is the byte-identical default
+	// (FIFO, no caps). With a circuit cap and a reject-new policy some
+	// builds may be refused: the corresponding Circuits slot is nil.
+	RelayConfig relay.Config
 }
 
 // DefaultScenario mirrors the paper's aggregate experiment: 50 circuits
@@ -222,6 +229,9 @@ func Build(seed int64, p ScenarioParams) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := n.ConfigureRelays(p.RelayConfig); err != nil {
+		return nil, err
+	}
 	for i, r := range relays {
 		descs[i] = r.Desc
 		if _, err := n.AddRelay(r.Desc.ID, r.Access); err != nil {
@@ -254,6 +264,12 @@ func Build(seed int64, p ScenarioParams) (*Scenario, error) {
 			TraceCwnd:    p.TraceCwnd,
 		})
 		if err != nil {
+			if errors.Is(err, core.ErrCircuitRejected) {
+				// A capped relay refused the build; the slot stays nil
+				// so indices keep lining up with the path RNG draws.
+				sc.Circuits = append(sc.Circuits, nil)
+				continue
+			}
 			return nil, fmt.Errorf("workload: circuit %d: %w", i, err)
 		}
 		sc.Circuits = append(sc.Circuits, c)
@@ -290,32 +306,70 @@ type Result struct {
 func (sc *Scenario) Run(horizon sim.Time) []Result {
 	p := sc.Params
 	startRNG := sim.NewRNG(sc.Network.Seed(), "workload-starts")
-	remaining := len(sc.Circuits)
+	remaining := 0
+	for _, c := range sc.Circuits {
+		if c != nil {
+			remaining++
+		}
+	}
+	finished := make([]bool, len(sc.Circuits))
+	finish := func(i int) {
+		if finished[i] {
+			return
+		}
+		finished[i] = true
+		remaining--
+		if remaining == 0 {
+			sc.Network.Clock().Stop()
+		}
+	}
+	idx := make(map[*core.Circuit]int, len(sc.Circuits))
 	for i, c := range sc.Circuits {
-		circ := c
+		if c != nil {
+			idx[c] = i
+		}
+	}
+	// A resource-limit eviction counts its circuit as finished, so a
+	// kill cannot stall the early stop.
+	sc.Network.OnKill(func(c *core.Circuit) {
+		if i, ok := idx[c]; ok {
+			finish(i)
+		}
+	})
+	for i, c := range sc.Circuits {
+		// Draw the start delay even for rejected (nil) circuits so the
+		// stagger of the surviving ones is independent of rejections.
 		delay := time.Duration(0)
 		if p.StartSpread > 0 {
 			delay = time.Duration(startRNG.Int63n(int64(p.StartSpread)))
 		}
+		if c == nil {
+			continue
+		}
+		i, circ := i, c
 		sc.Network.Clock().After(delay, func() {
-			done := func(time.Duration) {
-				remaining--
-				if remaining == 0 {
-					sc.Network.Clock().Stop()
-				}
+			if circ.Closed() {
+				// Evicted before its start (admission kill at build
+				// time, or mid-stagger); nothing left to transfer.
+				finish(i)
+				return
 			}
+			done := func(time.Duration) { finish(i) }
 			if p.Download {
 				circ.TransferBackward(p.TransferSize, done)
 			} else {
 				circ.Transfer(p.TransferSize, done)
 			}
 		})
-		_ = i
 	}
 	sc.Network.RunUntil(horizon)
 
 	results := make([]Result, len(sc.Circuits))
 	for i, c := range sc.Circuits {
+		if c == nil {
+			results[i] = Result{Circuit: i}
+			continue
+		}
 		ttlb, done := c.TTLB()
 		results[i] = Result{Circuit: i, TTLB: ttlb, Done: done}
 	}
