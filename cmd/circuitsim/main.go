@@ -208,6 +208,7 @@ func runAblation(args []string) error {
 	maxCircuits := fs.Int("max-circuits", 6, "per-relay circuit cap (overload only)")
 	maxMemory := fs.Int64("max-memory", 128_000, "per-relay held-cell memory cap [bytes] (overload only)")
 	killPolicy := fs.String("kill", "kill-heaviest", "cap policy: reject-new | kill-oldest | kill-heaviest (overload only)")
+	train := fs.Int("train", 0, "cell-train coalescing cap per link, <=1 = one event per cell (churn, overload)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -282,6 +283,7 @@ func runAblation(args []string) error {
 		p.Arrivals = *arrivals
 		p.ArrivalRate = *rate
 		p.Failures = *failures
+		p.TrainSize = *train
 		res, err := experiments.AblationChurn(p)
 		if err != nil {
 			return err
@@ -306,6 +308,7 @@ func runAblation(args []string) error {
 		p.Limits.MaxCircuits = *maxCircuits
 		p.Limits.MaxMemory = units.DataSize(*maxMemory)
 		p.Limits.Policy = policy
+		p.TrainSize = *train
 		res, err := experiments.AblationOverload(p)
 		if err != nil {
 			return err
@@ -379,6 +382,7 @@ func runScenario(args []string) error {
 	poisson := fs.Float64("poisson", 0, "Poisson arrival rate per second (overrides -spread)")
 	download := fs.Bool("download", false, "run transfers in the download (server → client) direction")
 	horizon := fs.Duration("horizon", 600*time.Second, "per-trial virtual time bound")
+	train := fs.Int("train", 0, "cell-train coalescing cap per link (≤1 = one event per cell)")
 	csvPath := fs.String("csv", "", "write every arm's TTLB CDF as CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -416,6 +420,7 @@ func runScenario(args []string) error {
 		Arms:         armSpecs,
 		Horizon:      sim.Time(*horizon),
 		Replications: *reps,
+		TrainSize:    *train,
 	}
 	res, err := scenario.Runner{Workers: *workers}.Run(sc)
 	if err != nil {

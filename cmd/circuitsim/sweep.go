@@ -47,6 +47,7 @@ func runSweep(args []string) error {
 	hopCounts := fs.String("hopcounts", "", "dimension: relays per circuit (comma-separated)")
 	sizes := fs.String("sizes", "", "dimension: transfer sizes [bytes] (comma-separated)")
 	counts := fs.String("counts", "", "dimension: concurrent circuit counts (comma-separated)")
+	trains := fs.String("trains", "", "dimension: cell-train coalescing caps (comma-separated; ≤1 = untrained)")
 	sample := fs.Int("sample", 0, "cap the grid to a seeded sample of this many points (0 = full)")
 	resume := fs.Int("resume", 0, "skip grid points with index below this (append to a prior -out)")
 	workers := fs.Int("workers", 0, "concurrent grid points (0 = one per CPU)")
@@ -82,6 +83,7 @@ func runSweep(args []string) error {
 			{"gamma", *gammas},
 			{"size", *sizes},
 			{"count", *counts},
+			{"train", *trains},
 		} {
 			if d.raw != "" {
 				cfg.dims = append(cfg.dims, dimRequest{kind: d.kind, raw: splitList(d.raw)})
@@ -285,6 +287,12 @@ func (c sweepConfig) buildDim(d dimRequest, traceParams experiments.CwndTracePar
 			return sweep.Dimension{}, fmt.Errorf("sweep: -counts: %w", err)
 		}
 		return sweep.Circuits(ns...), nil
+	case "train":
+		ns, err := parseInts(d.raw)
+		if err != nil {
+			return sweep.Dimension{}, fmt.Errorf("sweep: -trains: %w", err)
+		}
+		return sweep.DimTrainSize(ns...)
 	default:
 		return sweep.Dimension{}, fmt.Errorf("sweep: unknown axis %q", d.kind)
 	}
@@ -395,6 +403,7 @@ type sweepSpecDim struct {
 	Hops           []int     `json:"hops,omitempty"`
 	SizesBytes     []int64   `json:"sizes_bytes,omitempty"`
 	Counts         []int     `json:"counts,omitempty"`
+	Trains         []int     `json:"trains,omitempty"`
 }
 
 // parseSweepSpec renders a JSON grid file into a Sweep.
@@ -486,6 +495,9 @@ func specDimRequest(d sweepSpecDim) (dimRequest, error) {
 	}
 	if len(d.Counts) > 0 {
 		out = append(out, dimRequest{kind: "count", raw: intsToRaw(d.Counts)})
+	}
+	if len(d.Trains) > 0 {
+		out = append(out, dimRequest{kind: "train", raw: intsToRaw(d.Trains)})
 	}
 	if len(out) != 1 {
 		return dimRequest{}, fmt.Errorf("needs exactly one axis list, has %d", len(out))

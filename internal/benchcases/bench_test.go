@@ -6,12 +6,13 @@ import "testing"
 // BenchmarkLinkTransit are gated to 0 allocs/op by the zero-alloc CI
 // step; the bodies are the exact code `circuitsim bench` snapshots.
 
-func BenchmarkClockSchedule(b *testing.B) { ClockSchedule(b) }
-func BenchmarkTimerRearm(b *testing.B)    { TimerRearm(b) }
-func BenchmarkLinkTransit(b *testing.B)   { LinkTransit(b) }
-func BenchmarkStarTransit(b *testing.B)   { StarTransit(b) }
-func BenchmarkOnionWrap(b *testing.B)     { OnionWrap(b) }
-func BenchmarkOnionUnwrap(b *testing.B)   { OnionUnwrap(b) }
+func BenchmarkClockSchedule(b *testing.B)    { ClockSchedule(b) }
+func BenchmarkTimerRearm(b *testing.B)       { TimerRearm(b) }
+func BenchmarkLinkTransit(b *testing.B)      { LinkTransit(b) }
+func BenchmarkLinkTransitTrain(b *testing.B) { LinkTransitTrain(b) }
+func BenchmarkStarTransit(b *testing.B)      { StarTransit(b) }
+func BenchmarkOnionWrap(b *testing.B)        { OnionWrap(b) }
+func BenchmarkOnionUnwrap(b *testing.B)      { OnionUnwrap(b) }
 
 func BenchmarkSchedulerEnqueueDequeue(b *testing.B) { SchedulerEnqueueDequeue(b) }
 

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"circuitstart/internal/arena"
 	"circuitstart/internal/cell"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/onion"
@@ -79,6 +80,51 @@ func LinkTransit(b *testing.B) {
 	}
 	if delivered != b.N {
 		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// trainSink is a TrainHandler that counts batched and single deliveries
+// without allocating.
+type trainSink struct{ cells, trains int }
+
+func (t *trainSink) Deliver(*netem.Frame) { t.cells++ }
+func (t *trainSink) DeliverTrain(fs []*netem.Frame) {
+	t.cells += len(fs)
+	t.trains++
+}
+
+// LinkTransitTrain measures the batched counterpart of LinkTransit: a
+// burst of back-to-back frames coalesced into cell trains through a
+// pooled link (one serialization event and one batched delivery per
+// train instead of per cell). CI fails if this reports nonzero
+// allocs/op — train formation, the survivor ring and the batched
+// delivery scratch must all recycle.
+func LinkTransitTrain(b *testing.B) {
+	const trainSize = 8
+	clock := sim.NewClock()
+	sink := &trainSink{}
+	link := netem.NewLink("bench", clock, netem.LinkConfig{
+		Rate: units.Mbps(100), Delay: time.Millisecond, TrainSize: trainSize,
+	}, sink)
+	pool := netem.NewFramePool()
+	link.UsePool(pool, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The first frame departs alone (the link is idle when it
+		// arrives); the rest queue behind it and coalesce.
+		for j := 0; j < trainSize; j++ {
+			f := pool.Get()
+			f.Src, f.Dst, f.Size = "a", "b", 512
+			link.Send(f)
+		}
+		clock.Run()
+	}
+	if sink.cells != b.N*trainSize {
+		b.Fatalf("delivered %d of %d cells", sink.cells, b.N*trainSize)
+	}
+	if sink.trains == 0 {
+		b.Fatal("no batched deliveries — trains never formed")
 	}
 }
 
@@ -213,21 +259,44 @@ func OnionUnwrap(b *testing.B) {
 
 // SingleTransfer measures raw simulator throughput and its allocation
 // profile: one 1 MB transfer over a 3-hop circuit per iteration (an
-// engineering metric, not a paper figure).
+// engineering metric, not a paper figure). It runs the way experiments
+// actually run the hot path — cell trains on every link and the
+// population/circuit substrate amortized across transfers the same way
+// the parallel runner's per-worker arena amortizes it across trials —
+// so the steady-state number is the per-transfer cost, not the
+// per-trial setup cost.
 func SingleTransfer(b *testing.B) {
+	ar := arena.New()
+	sc, err := workload.Build(1, workload.ScenarioParams{
+		Relays:         workload.DefaultRelayParams(8),
+		Circuits:       1,
+		HopsPerCircuit: 3,
+		TransferSize:   1 * units.Megabyte,
+		TrainSize:      8,
+		Arena:          ar,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := sc.Network
+	c := sc.Circuits[0]
+	clock := n.Clock()
+	onDone := func(time.Duration) { clock.Stop() }
+	// One untimed transfer grows every pool and slab to its working
+	// set; without it the first timed iteration's warmup allocations
+	// amortize over b.N and the reported allocs/op varies with the
+	// iteration count instead of measuring the steady state.
+	c.Transfer(1*units.Megabyte, onDone)
+	n.Run()
+	if !c.Done() {
+		b.Fatal("warmup transfer incomplete")
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc, err := workload.Build(int64(i), workload.ScenarioParams{
-			Relays:         workload.DefaultRelayParams(8),
-			Circuits:       1,
-			HopsPerCircuit: 3,
-			TransferSize:   1 * units.Megabyte,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		res := sc.Run(600 * sim.Second)
-		if !res[0].Done {
+		c.Transfer(1*units.Megabyte, onDone)
+		n.Run()
+		if !c.Done() {
 			b.Fatal("incomplete")
 		}
 	}

@@ -23,6 +23,7 @@ var Headline = []struct {
 	{"clock_schedule", ClockSchedule},
 	{"timer_rearm", TimerRearm},
 	{"link_transit", LinkTransit},
+	{"link_transit_train", LinkTransitTrain},
 	{"star_transit", StarTransit},
 	{"onion_wrap", OnionWrap},
 	{"onion_unwrap", OnionUnwrap},
@@ -129,7 +130,8 @@ func ReadSnapshot(path string) (Snapshot, error) {
 // the whole-transfer profile.
 var zeroAllocGated = map[string]bool{
 	"clock_schedule": true, "timer_rearm": true, "link_transit": true,
-	"star_transit": true, "onion_wrap": true, "onion_unwrap": true,
+	"link_transit_train": true, "star_transit": true,
+	"onion_wrap": true, "onion_unwrap": true,
 	"scheduler_enqueue_dequeue": true,
 }
 

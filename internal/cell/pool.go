@@ -13,8 +13,13 @@ package cell
 // sequence number.
 //
 // A nil *Pool is valid and degrades to plain allocation.
+//
+// The pool remembers every cell it ever allocated so Reset can reclaim
+// cells stranded in a dead trial's structures (in flight or retained
+// for retransmission when the trial stopped) along with the free ones.
 type Pool struct {
 	free []*Cell
+	all  []*Cell
 }
 
 // NewPool returns an empty pool.
@@ -33,7 +38,9 @@ func (p *Pool) Get() *Cell {
 		p.free = p.free[:n-1]
 		return c
 	}
-	return &Cell{}
+	c := &Cell{}
+	p.all = append(p.all, c)
+	return c
 }
 
 // Put recycles a cell whose content has been consumed.
@@ -43,3 +50,21 @@ func (p *Pool) Put(c *Cell) {
 	}
 	p.free = append(p.free, c)
 }
+
+// Reset reclaims every cell the pool ever allocated — free or not —
+// rebuilding the free list in allocation order. Only call it at a trial
+// boundary, after everything that could hold a cell (endpoints, hop
+// senders, frames in flight) has been discarded; resetting under a live
+// circuit aliases memory.
+func (p *Pool) Reset() {
+	if p == nil {
+		return
+	}
+	p.free = append(p.free[:0], p.all...)
+}
+
+// All exposes the allocation ledger for tests.
+func (p *Pool) All() []*Cell { return p.all }
+
+// FreeLen exposes the free-list depth for tests.
+func (p *Pool) FreeLen() int { return len(p.free) }

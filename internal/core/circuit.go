@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"circuitstart/internal/arena"
 	"circuitstart/internal/cell"
 	"circuitstart/internal/endpoint"
 	"circuitstart/internal/metrics"
@@ -206,7 +207,19 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 		return nil, err
 	}
 
-	c := &Circuit{id: spec.ID, network: n, spec: spec, builtAt: n.Now()}
+	var c *Circuit
+	if n.ar != nil {
+		// Trial-lifetime object: draw from the arena slab so churned
+		// circuits stop costing a heap allocation each. The pointer is
+		// valid until the arena's next ResetTrial.
+		slab := n.ar.Slot("core.circuits", func() any {
+			return new(arena.Slab[Circuit])
+		}).(*arena.Slab[Circuit])
+		c = slab.New()
+	} else {
+		c = &Circuit{}
+	}
+	*c = Circuit{id: spec.ID, network: n, spec: spec, builtAt: n.Now()}
 
 	// Wire the relay hops. Hop i of the circuit runs between node i and
 	// node i+1 of the sequence source, relays..., sink.
@@ -258,6 +271,7 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 	c.source = endpoint.NewSource(spec.Source, n.fabric, spec.SourceAccess,
 		spec.ID, clientCrypto, spec.Relays[0], srcCfg, n.lossRNG)
 	c.source.UseCellPool(n.cellPool)
+	c.source.UseSegmentPool(n.segPool)
 	sinkCfg := tmpl
 	if sinkCfg.Startup, err = spec.Transport.policy(); err != nil {
 		return nil, err
@@ -265,6 +279,7 @@ func (n *Network) BuildCircuit(spec CircuitSpec) (*Circuit, error) {
 	c.sink = endpoint.NewSink(spec.Sink, n.fabric, spec.SinkAccess,
 		spec.ID, spec.Relays[len(spec.Relays)-1], sinkCfg, n.lossRNG)
 	c.sink.UseCellPool(n.cellPool)
+	c.sink.UseSegmentPool(n.segPool)
 
 	// Analytic model of the same path, including any backbone trunks
 	// each hop crosses on a routed fabric.

@@ -52,7 +52,7 @@ func TestCircuitAcrossGraphFabric(t *testing.T) {
 	}
 	// All forward data crossed the g(west) → m(east) trunk hop.
 	gf := n.Fabric().(*netem.GraphFabric)
-	if st := gf.Trunk("west", "east").Stats(); st.Delivered == 0 {
+	if st := gf.Trunk("west", "east").Stats(); st.CellsDelivered == 0 {
 		t.Error("no frames crossed the west>east trunk")
 	}
 	if gf.UnknownDst() != 0 || gf.Unroutable() != 0 {

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"circuitstart/internal/arena"
 	"circuitstart/internal/cell"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/onion"
@@ -19,6 +20,7 @@ import (
 	"circuitstart/internal/resource"
 	"circuitstart/internal/sched"
 	"circuitstart/internal/sim"
+	"circuitstart/internal/transport"
 )
 
 // Network is an overlay under construction: attach relays, then build
@@ -37,8 +39,15 @@ type Network struct {
 
 	// cellPool recycles cells between the consuming and producing
 	// endpoints of every circuit on this network (single-threaded on the
-	// shared clock, so one pool serves them all).
+	// shared clock, so one pool serves them all). segPool does the same
+	// for the boxed segment wrappers frames carry — the fabric's frame
+	// pool returns wrappers here the moment their frame dies.
 	cellPool *cell.Pool
+	segPool  *transport.SegmentPool
+
+	// ar is the arena the network draws trial-lifetime objects from
+	// (circuits), nil for standalone networks.
+	ar *arena.Arena
 
 	nextAutoCirc uint32
 
@@ -70,7 +79,31 @@ func NewNetwork(seed int64) *Network {
 // backbone. Every trial must build its own fabric; reusing one across
 // networks would share clocks and queues.
 func NewNetworkWithFabric(seed int64, build FabricBuilder) *Network {
-	clock := sim.NewClock()
+	return newNetwork(nil, seed, build)
+}
+
+// NewNetworkInArena is NewNetworkWithFabric drawing its clock, cell pool
+// and segment pool from a trial arena instead of allocating fresh ones.
+// Callers running trial sequences pair it with ar.ResetTrial() between
+// trials: the network object itself is rebuilt (maps, fabric, relays are
+// trial-specific state) but the expensive recyclable substrate — event
+// free list, cell and segment free lists, object slabs — carries over.
+// The arena's clock must be idle and reset when called.
+func NewNetworkInArena(ar *arena.Arena, seed int64, build FabricBuilder) *Network {
+	return newNetwork(ar, seed, build)
+}
+
+func newNetwork(ar *arena.Arena, seed int64, build FabricBuilder) *Network {
+	var (
+		clock    *sim.Clock
+		cellPool *cell.Pool
+		segPool  *transport.SegmentPool
+	)
+	if ar != nil {
+		clock, cellPool, segPool = ar.Clock, ar.Cells, ar.Segments
+	} else {
+		clock, cellPool, segPool = sim.NewClock(), cell.NewPool(), transport.NewSegmentPool()
+	}
 	lossRNG := sim.NewRNG(seed, "netem-loss")
 	fab := build(clock, lossRNG)
 	if fab == nil {
@@ -79,6 +112,20 @@ func NewNetworkWithFabric(seed int64, build FabricBuilder) *Network {
 	if fab.Clock() != clock {
 		panic("core: fabric built on a foreign clock")
 	}
+	// An arena-backed network redirects the fabric's frame pool to the
+	// arena's long-lived store, so the frame working set survives this
+	// trial's fabric and ResetTrial can reclaim stranded frames.
+	if ar != nil {
+		fab.FramePool().Adopt(ar.Frames)
+	}
+	// Recycle boxed segment wrappers the instant their carrying frame
+	// dies (delivered, tail-dropped, policed or randomly lost) — the
+	// frame pool's reclaim hook is the one place every death is visible.
+	fab.FramePool().OnReclaim(func(p any) {
+		if s, ok := p.(*transport.Segment); ok {
+			segPool.Put(s)
+		}
+	})
 	return &Network{
 		clock:      clock,
 		fabric:     fab,
@@ -87,7 +134,9 @@ func NewNetworkWithFabric(seed int64, build FabricBuilder) *Network {
 		identities: make(map[netem.NodeID]*onion.Identity),
 		lossRNG:    lossRNG,
 		keyRNG:     sim.NewRNG(seed, "onion-keys"),
-		cellPool:   cell.NewPool(),
+		cellPool:   cellPool,
+		segPool:    segPool,
+		ar:         ar,
 		circuits:   make(map[cell.CircID]*Circuit),
 	}
 }
@@ -194,6 +243,7 @@ func (n *Network) AddRelay(id netem.NodeID, access netem.AccessConfig) (*relay.R
 		return nil, fmt.Errorf("core: relay %q identity: %w", id, err)
 	}
 	r := relay.New(id, n.fabric, access, n.lossRNG)
+	r.UseSegmentPool(n.segPool)
 	if err := r.Configure(n.relayCfg, n.killCircuit); err != nil {
 		return nil, fmt.Errorf("core: relay %q: %w", id, err)
 	}

@@ -48,7 +48,7 @@ func newBackRig(t *testing.T, hops int) *backRig {
 	rig.rk = rk
 
 	rig.relay = rig.star.Attach("first", access, netem.HandlerFunc(func(f *netem.Frame) {
-		seg := f.Payload.(transport.Segment)
+		seg := *f.Payload.(*transport.Segment)
 		if seg.Dir == transport.DirBackward {
 			rig.ctrl = append(rig.ctrl, seg)
 		}
@@ -70,7 +70,7 @@ func (r *backRig) sendBackward(seq uint64, payload []byte) {
 		r.rk[i].EncryptBackward(c)
 	}
 	seg := transport.Segment{Kind: transport.KindData, Dir: transport.DirBackward, Circ: 1, Seq: seq, Cell: c}
-	r.relay.Send("client", seg.WireSize(), seg)
+	r.relay.Send("client", seg.WireSize(), &seg)
 }
 
 func TestSourceDownloadUnwrapsAllLayers(t *testing.T) {
@@ -120,7 +120,7 @@ func TestSourceDownloadCountsBadCells(t *testing.T) {
 		c.Payload[i] = 0x5c
 	}
 	seg := transport.Segment{Kind: transport.KindData, Dir: transport.DirBackward, Circ: 1, Seq: 0, Cell: c}
-	rig.relay.Send("client", seg.WireSize(), seg)
+	rig.relay.Send("client", seg.WireSize(), &seg)
 	rig.clock.RunUntil(sim.Second)
 	if rig.source.DownloadBadCells() != 1 {
 		t.Fatalf("DownloadBadCells = %d", rig.source.DownloadBadCells())
@@ -137,7 +137,7 @@ func TestSinkSendBackwardPacketizes(t *testing.T) {
 
 	var datas []transport.Segment
 	exit := star.Attach("exit", access, netem.HandlerFunc(func(f *netem.Frame) {
-		seg := f.Payload.(transport.Segment)
+		seg := *f.Payload.(*transport.Segment)
 		if seg.Kind == transport.KindData && seg.Dir == transport.DirBackward {
 			datas = append(datas, seg)
 		}

@@ -32,6 +32,8 @@ type Source struct {
 	queuedBytes units.DataSize
 	sentCells   uint64
 	cells       *cell.Pool // optional recycling with the far endpoint
+	segs        *transport.SegmentPool
+	packBuf     []byte // zero-filled packetization scratch, shared by Send calls
 
 	// Download (backward) direction: the client receives layered cells
 	// from the first relay and unwraps every hop's encryption.
@@ -54,25 +56,29 @@ func NewSource(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig,
 	params transport.Config, rng *sim.RNG) *Source {
 
 	s := &Source{id: id, clock: fab.Clock(), circ: circ, crypto: crypto, first: first}
-	s.port = fab.Attach(id, access, netem.HandlerFunc(s.deliver), rng)
+	s.port = fab.Attach(id, access, s, rng)
 
 	params.Clock = s.clock
 	params.Circ = circ
 	params.Send = func(seg transport.Segment) bool {
 		seg.Dir = transport.DirForward
-		return sendSegment(s.port, first, seg)
+		return sendSegment(s.segs, s.port, first, seg)
 	}
 	s.sender = transport.NewSender(params)
 
 	s.drecv = transport.NewReceiver(circ,
 		func(seg transport.Segment) bool {
 			seg.Dir = transport.DirBackward
-			return sendSegment(s.port, first, seg)
+			return sendSegment(s.segs, s.port, first, seg)
 		},
 		s.consumeDownload,
 	)
 	return s
 }
+
+// UseSegmentPool wires the shared segment-wrapper pool (see
+// core.Network). Must be set before traffic flows; nil is valid.
+func (s *Source) UseSegmentPool(sp *transport.SegmentPool) { s.segs = sp }
 
 // UseCellPool wires cell recycling: Send draws packetization cells from
 // pool, and every consumed download cell is returned to it. Wire the
@@ -84,7 +90,9 @@ func (s *Source) UseCellPool(pool *cell.Pool) { s.cells = pool }
 // application bytes have arrived over the backward direction,
 // onComplete fires with the arrival time of the last byte.
 func (s *Source) ExpectDownload(size units.DataSize, onComplete func(at sim.Time)) {
-	s.downExpected = size
+	// Cumulative target, like Sink.Expect: downloaded never resets, so a
+	// second download on the same circuit waits for size NEW bytes.
+	s.downExpected = s.downloaded + size
 	s.onDownload = onComplete
 	s.downDone = false
 }
@@ -159,7 +167,10 @@ func (s *Source) Send(size units.DataSize) int {
 	s.queuedBytes += size
 	remaining := size.Bytes()
 	cells := 0
-	buf := make([]byte, cell.MaxRelayData)
+	if s.packBuf == nil {
+		s.packBuf = make([]byte, cell.MaxRelayData)
+	}
+	buf := s.packBuf
 	for remaining > 0 {
 		n := int64(cell.MaxRelayData)
 		if remaining < n {
@@ -185,20 +196,62 @@ func CellsFor(size units.DataSize) int {
 	return int((size.Bytes() + per - 1) / per)
 }
 
-// deliver handles segments arriving from the first relay: control for
-// the forward sender, data for the download receiver.
+// Deliver handles a segment arriving from the first relay: control for
+// the forward sender, data for the download receiver (netem.Handler).
+func (s *Source) Deliver(f *netem.Frame) {
+	s.deliver(f)
+}
+
+// DeliverTrain handles a whole cell train in one call
+// (netem.TrainHandler): backward data segments defer their per-cell
+// acks and forwarding reports, and one cumulative FEEDBACK+ACK pair
+// covering the train is flushed at the end.
+func (s *Source) DeliverTrain(fs []*netem.Frame) {
+	for _, f := range fs {
+		s.deliverBatched(f)
+	}
+	if s.drecv != nil {
+		s.drecv.Flush()
+	}
+}
+
+// deliverBatched is deliver with data handed to the batched receiver
+// path (signals deferred to the train boundary).
+func (s *Source) deliverBatched(f *netem.Frame) {
+	if s.closed {
+		return
+	}
+	seg, ok := f.Payload.(*transport.Segment)
+	if !ok || f.Src != s.first {
+		panic(fmt.Sprintf("source %s: unexpected frame from %s", s.id, f.Src))
+	}
+	if seg.Dir == transport.DirBackward && seg.Kind == transport.KindData {
+		s.drecv.HandleDataBatched(seg.Seq, seg.Cell)
+		return
+	}
+	s.deliverSeg(seg)
+}
+
 func (s *Source) deliver(f *netem.Frame) {
 	if s.closed {
 		return // circuit torn down; absorb in-flight frames
 	}
-	seg, ok := f.Payload.(transport.Segment)
+	seg, ok := f.Payload.(*transport.Segment)
 	if !ok || f.Src != s.first {
 		panic(fmt.Sprintf("source %s: unexpected frame from %s", s.id, f.Src))
 	}
+	if seg.Dir == transport.DirBackward && seg.Kind == transport.KindData {
+		s.drecv.HandleData(seg.Seq, seg.Cell)
+		return
+	}
+	s.deliverSeg(seg)
+}
+
+// deliverSeg routes the non-data segment kinds (shared by the per-frame
+// and batched paths).
+func (s *Source) deliverSeg(seg *transport.Segment) {
 	if seg.Dir == transport.DirBackward {
 		switch seg.Kind {
-		case transport.KindData:
-			s.drecv.HandleData(seg.Seq, seg.Cell)
 		case transport.KindProbe:
 			s.drecv.HandleProbe()
 		default:
@@ -242,6 +295,8 @@ type Sink struct {
 	bsender *transport.Sender
 
 	cellPool *cell.Pool // optional recycling with the far endpoint
+	segs     *transport.SegmentPool
+	packBuf  []byte // zero-filled packetization scratch, shared by SendBackward calls
 
 	closed bool
 }
@@ -253,11 +308,11 @@ func NewSink(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig,
 	circ cell.CircID, exit netem.NodeID, params transport.Config, rng *sim.RNG) *Sink {
 
 	k := &Sink{id: id, clock: fab.Clock(), circ: circ, exit: exit}
-	k.port = fab.Attach(id, access, netem.HandlerFunc(k.deliver), rng)
+	k.port = fab.Attach(id, access, k, rng)
 	k.recv = transport.NewReceiver(circ,
 		func(seg transport.Segment) bool {
 			seg.Dir = transport.DirForward
-			return sendSegment(k.port, exit, seg)
+			return sendSegment(k.segs, k.port, exit, seg)
 		},
 		k.consume,
 	)
@@ -266,11 +321,15 @@ func NewSink(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig,
 	params.Circ = circ
 	params.Send = func(seg transport.Segment) bool {
 		seg.Dir = transport.DirBackward
-		return sendSegment(k.port, exit, seg)
+		return sendSegment(k.segs, k.port, exit, seg)
 	}
 	k.bsender = transport.NewSender(params)
 	return k
 }
+
+// UseSegmentPool wires the shared segment-wrapper pool (see
+// core.Network). Must be set before traffic flows; nil is valid.
+func (k *Sink) UseSegmentPool(sp *transport.SegmentPool) { k.segs = sp }
 
 // BackwardSender exposes the sink's server-side sender (the subject of
 // download-direction window traces).
@@ -291,7 +350,10 @@ func (k *Sink) SendBackward(size units.DataSize) int {
 		panic("endpoint: SendBackward on a closed sink")
 	}
 	remaining := size.Bytes()
-	buf := make([]byte, cell.MaxRelayData)
+	if k.packBuf == nil {
+		k.packBuf = make([]byte, cell.MaxRelayData)
+	}
+	buf := k.packBuf
 	cells := 0
 	for remaining > 0 {
 		n := int64(cell.MaxRelayData)
@@ -313,12 +375,16 @@ func (k *Sink) SendBackward(size units.DataSize) int {
 // sendSegment transmits a hop segment, giving control segments (ACK,
 // FEEDBACK, PROBE) link priority so congestion feedback is not delayed
 // by the data queues it describes. Data frames carry their circuit ID
-// so installed circuit schedulers can tell flows apart.
-func sendSegment(p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
+// so installed circuit schedulers can tell flows apart. The segment
+// rides as a pooled *Segment wrapper (see relay.sendSegment); a nil
+// pool allocates a fresh wrapper per call.
+func sendSegment(sp *transport.SegmentPool, p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
+	s := sp.Get()
+	*s = seg
 	if seg.Kind == transport.KindData {
-		return p.SendCirc(dst, seg.WireSize(), seg, uint32(seg.Circ))
+		return p.SendCirc(dst, seg.WireSize(), s, uint32(seg.Circ))
 	}
-	return p.SendPriority(dst, seg.WireSize(), seg)
+	return p.SendPriority(dst, seg.WireSize(), s)
 }
 
 // Close releases the sink's circuit state on teardown: the backward
@@ -345,7 +411,10 @@ func (k *Sink) ID() netem.NodeID { return k.id }
 // Expect arms the completion callback: once size application bytes have
 // arrived, onComplete fires with the arrival time of the last byte.
 func (k *Sink) Expect(size units.DataSize, onComplete func(at sim.Time)) {
-	k.expected = size
+	// The target is cumulative — received never resets — so arming a new
+	// expectation on a circuit that already completed a transfer waits
+	// for size NEW bytes rather than completing on the first cell.
+	k.expected = k.received + size
 	k.onComplete = onComplete
 	k.completed = false
 }
@@ -381,16 +450,60 @@ func (k *Sink) consume(c *cell.Cell) {
 	}
 }
 
-// deliver handles frames from the exit relay: forward data to the
-// receiver, backward control to the server-side sender.
+// Deliver handles one frame from the exit relay: forward data to the
+// receiver, backward control to the server-side sender (netem.Handler).
+func (k *Sink) Deliver(f *netem.Frame) {
+	k.deliver(f)
+}
+
+// DeliverTrain handles a whole cell train in one call
+// (netem.TrainHandler): forward data segments defer their per-cell acks
+// and forwarding reports, and one cumulative FEEDBACK+ACK pair covering
+// the train is flushed at the end.
+func (k *Sink) DeliverTrain(fs []*netem.Frame) {
+	for _, f := range fs {
+		k.deliverBatched(f)
+	}
+	if k.recv != nil {
+		k.recv.Flush()
+	}
+}
+
+// deliverBatched is deliver with data handed to the batched receiver
+// path (signals deferred to the train boundary).
+func (k *Sink) deliverBatched(f *netem.Frame) {
+	if k.closed {
+		return
+	}
+	seg, ok := f.Payload.(*transport.Segment)
+	if !ok || f.Src != k.exit {
+		panic(fmt.Sprintf("sink %s: unexpected frame from %s", k.id, f.Src))
+	}
+	if seg.Dir == transport.DirForward && seg.Kind == transport.KindData {
+		k.recv.HandleDataBatched(seg.Seq, seg.Cell)
+		return
+	}
+	k.deliverSeg(seg)
+}
+
 func (k *Sink) deliver(f *netem.Frame) {
 	if k.closed {
 		return // circuit torn down; absorb in-flight frames
 	}
-	seg, ok := f.Payload.(transport.Segment)
+	seg, ok := f.Payload.(*transport.Segment)
 	if !ok || f.Src != k.exit {
 		panic(fmt.Sprintf("sink %s: unexpected frame from %s", k.id, f.Src))
 	}
+	if seg.Dir == transport.DirForward && seg.Kind == transport.KindData {
+		k.recv.HandleData(seg.Seq, seg.Cell)
+		return
+	}
+	k.deliverSeg(seg)
+}
+
+// deliverSeg routes the non-data segment kinds (shared by the per-frame
+// and batched paths).
+func (k *Sink) deliverSeg(seg *transport.Segment) {
 	if seg.Dir == transport.DirBackward {
 		switch seg.Kind {
 		case transport.KindAck:
@@ -403,8 +516,6 @@ func (k *Sink) deliver(f *netem.Frame) {
 		return
 	}
 	switch seg.Kind {
-	case transport.KindData:
-		k.recv.HandleData(seg.Seq, seg.Cell)
 	case transport.KindProbe:
 		k.recv.HandleProbe()
 	default:

@@ -61,7 +61,7 @@ func newSourceRig(t *testing.T, hops int) *sourceRig {
 
 	var relayPort *netem.Port
 	relayPort = rig.star.Attach("first", access, netem.HandlerFunc(func(f *netem.Frame) {
-		seg := f.Payload.(transport.Segment)
+		seg := *f.Payload.(*transport.Segment)
 		switch seg.Kind {
 		case transport.KindData:
 			rig.recv.HandleData(seg.Seq, seg.Cell)
@@ -70,7 +70,7 @@ func newSourceRig(t *testing.T, hops int) *sourceRig {
 		}
 	}), nil)
 	rig.recv = transport.NewReceiver(1, func(seg transport.Segment) bool {
-		return relayPort.Send("client", seg.WireSize(), seg)
+		return relayPort.Send("client", seg.WireSize(), &seg)
 	}, func(c *cell.Cell) {
 		rig.got = append(rig.got, c)
 		rig.recv.NotifyForwarded(rig.recv.Expected())
@@ -173,7 +173,7 @@ func newSinkRig(t *testing.T) *sinkRig {
 	rig.star = netem.NewStar(rig.clock)
 	access := netem.Symmetric(units.Mbps(50), time.Millisecond, 0)
 	rig.exit = rig.star.Attach("exit", access, netem.HandlerFunc(func(f *netem.Frame) {
-		rig.ctrl = append(rig.ctrl, f.Payload.(transport.Segment))
+		rig.ctrl = append(rig.ctrl, *f.Payload.(*transport.Segment))
 	}), nil)
 	rig.sink = NewSink("server", rig.star, access, 1, "exit", transport.Config{}, nil)
 	return rig
@@ -185,7 +185,7 @@ func (r *sinkRig) sendPlain(seq uint64, payload []byte) {
 		panic(err)
 	}
 	seg := transport.Segment{Kind: transport.KindData, Circ: 1, Seq: seq, Cell: c}
-	r.exit.Send("server", seg.WireSize(), seg)
+	r.exit.Send("server", seg.WireSize(), &seg)
 }
 
 func TestSinkCountsAndCompletes(t *testing.T) {
@@ -249,7 +249,7 @@ func TestSinkBadCellCounted(t *testing.T) {
 		c.Payload[i] = 0xAA
 	}
 	seg := transport.Segment{Kind: transport.KindData, Circ: 1, Seq: 0, Cell: c}
-	rig.exit.Send("server", seg.WireSize(), seg)
+	rig.exit.Send("server", seg.WireSize(), &seg)
 	rig.clock.RunUntil(sim.Second)
 	if rig.sink.BadCells() != 1 {
 		t.Fatalf("BadCells = %d", rig.sink.BadCells())

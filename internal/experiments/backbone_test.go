@@ -34,7 +34,7 @@ func TestAblationSharedBottleneck(t *testing.T) {
 		var westEast uint64
 		for _, ts := range arm.Trunks() {
 			if ts.Name == "trunk:west>east" {
-				westEast = ts.Stats.Delivered
+				westEast = ts.Stats.CellsDelivered
 			}
 		}
 		if westEast == 0 {

@@ -41,6 +41,9 @@ type ChurnParams struct {
 	FailAt       sim.Time
 	FailEvery    time.Duration
 	RecoverAfter time.Duration
+	// TrainSize caps cell-train coalescing on every link (≤1 = one
+	// event per cell, the byte-identical baseline).
+	TrainSize int
 	// Horizon bounds each trial.
 	Horizon sim.Time
 }
@@ -135,6 +138,7 @@ func (p ChurnParams) Scenario() (scenario.Scenario, error) {
 			Arrivals:    p.Arrivals,
 		},
 		RelayEvents: events,
+		TrainSize:   p.TrainSize,
 		Horizon:     p.Horizon,
 	}, nil
 }

@@ -46,6 +46,9 @@ type OverloadParams struct {
 	Limits resource.Limits
 	// HalfLife is the EWMA arms' cost half-life (0 = package default).
 	HalfLife sim.Time
+	// TrainSize caps cell-train coalescing on every link (≤1 = one
+	// event per cell, the byte-identical baseline).
+	TrainSize int
 	// Horizon bounds each trial.
 	Horizon sim.Time
 }
@@ -164,6 +167,7 @@ func (p OverloadParams) Scenario() scenario.Scenario {
 			arm("slowstart", "ewma"),
 		},
 		ClientAccess: access,
+		TrainSize:    p.TrainSize,
 		Horizon:      p.Horizon,
 	}
 }

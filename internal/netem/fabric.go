@@ -23,6 +23,9 @@ type AccessConfig struct {
 	QueueCap units.DataSize
 	// LossProb applies independently on both access links.
 	LossProb float64
+	// TrainSize enables cell trains on both access links (see
+	// LinkConfig.TrainSize). <= 1 keeps the per-frame machinery.
+	TrainSize int
 }
 
 // Symmetric returns an AccessConfig with equal up/down rate.
@@ -74,6 +77,10 @@ type Fabric interface {
 	// on a star). The analytic path model folds them into its per-hop
 	// rates and latencies. Panics on unattached nodes.
 	PathTransits(a, b NodeID) []*Link
+	// FramePool returns the fabric's frame pool. The overlay uses it to
+	// install an OnReclaim hook for payload wrappers; per-frame traffic
+	// must keep going through Port.Send.
+	FramePool() *FramePool
 }
 
 // Port is a node's view of the network: it sends frames into its uplink
@@ -143,12 +150,12 @@ func newPort(id NodeID, clock *sim.Clock, cfg AccessConfig, ingress, h Handler, 
 	p := &Port{id: id, cfg: cfg, pool: pool}
 	p.up = NewLink(string(id)+"/up", clock, LinkConfig{
 		Rate: cfg.UpRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
-		LossProb: cfg.LossProb, RNG: rng,
+		LossProb: cfg.LossProb, RNG: rng, TrainSize: cfg.TrainSize,
 	}, ingress)
 	p.up.UsePool(pool, false)
 	p.down = NewLink(string(id)+"/down", clock, LinkConfig{
 		Rate: cfg.DownRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap,
-		LossProb: cfg.LossProb, RNG: rng,
+		LossProb: cfg.LossProb, RNG: rng, TrainSize: cfg.TrainSize,
 	}, h)
 	p.down.UsePool(pool, true)
 	return p

@@ -53,15 +53,72 @@ type Frame struct {
 // simulation is single-threaded on its own clock, so no locking is
 // needed, and reuse order is deterministic.
 //
+// The free list lives in an indirected backing store so a pool can
+// Adopt another pool's store: a trial arena owns one long-lived store
+// and every per-trial fabric redirects its own pool there, letting the
+// frame working set survive fabric teardown. The store remembers every
+// frame it ever allocated, so Reset can reclaim frames stranded in
+// discarded links (in flight when a trial stopped) along with the free
+// ones.
+//
 // A nil *FramePool is valid and degrades to plain allocation (Get) and
 // dropping on the floor (Put) — standalone Links built by tests keep the
 // old semantics without wiring a pool.
 type FramePool struct {
-	free []*Frame
+	s *frameStore
+}
+
+type frameStore struct {
+	free    []*Frame
+	all     []*Frame
+	reclaim func(payload any)
 }
 
 // NewFramePool returns an empty pool.
-func NewFramePool() *FramePool { return &FramePool{} }
+func NewFramePool() *FramePool { return &FramePool{s: &frameStore{}} }
+
+// Adopt redirects this pool to src's backing store: subsequent Get/Put
+// calls — including through Links that captured this *FramePool earlier
+// — draw from and recycle into src's free list. Call it before traffic
+// flows; frames already drawn from the old store are simply never
+// reused.
+func (p *FramePool) Adopt(src *FramePool) {
+	if p != nil && src != nil {
+		p.s = src.s
+	}
+}
+
+// OnReclaim installs a hook invoked with a dying frame's non-nil
+// Payload just before the pool drops the reference. The overlay uses it
+// to recycle the boxed segment wrappers it attaches as payloads: the
+// network layer is the one place that reliably sees every frame death
+// (delivery, tail drop, random loss), so it is the one place the
+// wrapper's life can end exactly once.
+func (p *FramePool) OnReclaim(fn func(payload any)) {
+	if p != nil {
+		p.s.reclaim = fn
+	}
+}
+
+// Reset reclaims every frame the pool's store ever allocated — free or
+// not — rebuilding the free list in allocation order. It exists for
+// trial boundaries: frames still sitting in a dead trial's links come
+// back without waiting for delivery. Payload references are dropped
+// WITHOUT invoking the OnReclaim hook; a caller resetting the frame
+// pool is expected to reset the payload pools wholesale too. Calling it
+// while any live link still holds frames aliases memory — only reset
+// between trials, after the owning fabric is discarded.
+func (p *FramePool) Reset() {
+	if p == nil {
+		return
+	}
+	s := p.s
+	s.free = s.free[:0]
+	for _, f := range s.all {
+		f.Payload = nil
+		s.free = append(s.free, f)
+	}
+}
 
 // Get returns a frame for the caller to fill. Every exported field must
 // be set by the caller; recycled frames carry no payload.
@@ -69,13 +126,16 @@ func (p *FramePool) Get() *Frame {
 	if p == nil {
 		return &Frame{}
 	}
-	if n := len(p.free); n > 0 {
-		f := p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
+	s := p.s
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
 		return f
 	}
-	return &Frame{}
+	f := &Frame{}
+	s.all = append(s.all, f)
+	return f
 }
 
 // Put recycles a dead frame. The payload reference is dropped so the
@@ -85,8 +145,12 @@ func (p *FramePool) Put(f *Frame) {
 	if p == nil || f == nil {
 		return
 	}
+	s := p.s
+	if s.reclaim != nil && f.Payload != nil {
+		s.reclaim(f.Payload)
+	}
 	f.Payload = nil
-	p.free = append(p.free, f)
+	s.free = append(s.free, f)
 }
 
 // SchedQueue is a pluggable scheduler for a link's data frames. When
@@ -107,6 +171,17 @@ type SchedQueue interface {
 	Len() int
 }
 
+// CircPeeker is an optional SchedQueue extension: PeekCirc reports the
+// circuit of the frame the next Pop would return, without popping it.
+// A trained link consults it during train formation so a train never
+// spans a scheduler preemption point — the EWMA scheduler implements
+// it (its next pick is the cheapest circuit, known from the heap root),
+// while the FIFO scheduler deliberately does not (FIFO order has no
+// preemption, so trains coalesce across circuits there).
+type CircPeeker interface {
+	PeekCirc() (circ uint32, ok bool)
+}
+
 // Handler consumes frames delivered by the network layer.
 type Handler interface {
 	// Deliver hands a frame that has fully arrived to the receiver. The
@@ -120,6 +195,20 @@ type HandlerFunc func(f *Frame)
 
 // Deliver implements Handler.
 func (h HandlerFunc) Deliver(f *Frame) { h(f) }
+
+// TrainHandler is an optional Handler extension for batch delivery: a
+// trained link hands a whole train's surviving frames in one call
+// instead of one Deliver each, letting the receiver amortize per-batch
+// work (relays hoist the circuit-table lookup across a train's
+// same-circuit run). Frame ownership is unchanged — every frame in the
+// batch is only valid for the duration of the call. Handlers that do
+// not implement it receive per-frame Deliver calls in train order, so
+// implementing TrainHandler must be behaviorally equivalent to that
+// loop.
+type TrainHandler interface {
+	Handler
+	DeliverTrain(fs []*Frame)
+}
 
 // frameRing is a growable FIFO ring buffer of frames. Capacity is a
 // power of two so the wrap is a mask; growth is amortized, so a link

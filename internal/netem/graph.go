@@ -26,6 +26,9 @@ type TrunkConfig struct {
 	QueueCap units.DataSize
 	// LossProb drops frames independently on each direction.
 	LossProb float64
+	// TrainSize enables cell trains on both directions (see
+	// LinkConfig.TrainSize). <= 1 keeps the per-frame machinery.
+	TrainSize int
 }
 
 // SymmetricTrunk returns a TrunkConfig without loss.
@@ -254,11 +257,29 @@ func (g *GraphFabric) AddTrunk(a, b SwitchID, cfg TrunkConfig, rng *sim.RNG) {
 	if _, dup := sa.out[b]; dup {
 		panic(fmt.Sprintf("netem: duplicate trunk %q-%q", a, b))
 	}
-	lc := LinkConfig{Rate: cfg.Rate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, LossProb: cfg.LossProb, RNG: rng}
-	sa.out[b] = NewLink(trunkName(a, b), g.clock, lc, HandlerFunc(func(f *Frame) { g.routeFrom(sb, f) }))
+	lc := LinkConfig{Rate: cfg.Rate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, LossProb: cfg.LossProb, RNG: rng, TrainSize: cfg.TrainSize}
+	sa.out[b] = NewLink(trunkName(a, b), g.clock, lc, &switchIngress{g: g, sw: sb})
 	sa.out[b].UsePool(g.pool, false)
-	sb.out[a] = NewLink(trunkName(b, a), g.clock, lc, HandlerFunc(func(f *Frame) { g.routeFrom(sa, f) }))
+	sb.out[a] = NewLink(trunkName(b, a), g.clock, lc, &switchIngress{g: g, sw: sa})
 	sb.out[a].UsePool(g.pool, false)
+}
+
+// switchIngress is the handler feeding a switch's routing stage — the
+// destination of every uplink and trunk that terminates there. It
+// implements TrainHandler so an arriving train is routed as one batch
+// and its members enqueue back to back on their next link, keeping the
+// coalescing alive across the backbone.
+type switchIngress struct {
+	g  *GraphFabric
+	sw *gswitch
+}
+
+func (in *switchIngress) Deliver(f *Frame) { in.g.routeFrom(in.sw, f) }
+
+func (in *switchIngress) DeliverTrain(fs []*Frame) {
+	for _, f := range fs {
+		in.g.routeFrom(in.sw, f)
+	}
 }
 
 func trunkName(a, b SwitchID) string { return fmt.Sprintf("trunk:%s>%s", a, b) }
@@ -327,7 +348,7 @@ func (g *GraphFabric) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RN
 	}
 	home := g.Home(id)
 	sw := g.switches[home]
-	p := newPort(id, g.clock, cfg, HandlerFunc(func(f *Frame) { g.routeFrom(sw, f) }), h, rng, g.pool)
+	p := newPort(id, g.clock, cfg, &switchIngress{g: g, sw: sw}, h, rng, g.pool)
 	g.ports[id] = p
 	g.homes[id] = home
 	return p
@@ -499,6 +520,9 @@ func (g *GraphFabric) Switches() []SwitchID {
 	copy(out, g.order)
 	return out
 }
+
+// FramePool returns the fabric's frame pool.
+func (g *GraphFabric) FramePool() *FramePool { return g.pool }
 
 // UnknownDst returns how many frames were addressed to detached nodes.
 func (g *GraphFabric) UnknownDst() uint64 { return g.unknownDst }

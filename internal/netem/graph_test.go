@@ -43,11 +43,11 @@ func TestGraphRoutedDelivery(t *testing.T) {
 		t.Errorf("arrival at %v, want %v", sb.times[0], want)
 	}
 	// The trunk saw the frame; the reverse direction did not.
-	if st := g.Trunk("west", "east").Stats(); st.Delivered != 1 {
-		t.Errorf("west>east delivered %d, want 1", st.Delivered)
+	if st := g.Trunk("west", "east").Stats(); st.CellsDelivered != 1 {
+		t.Errorf("west>east delivered %d, want 1", st.CellsDelivered)
 	}
-	if st := g.Trunk("east", "west").Stats(); st.Delivered != 0 {
-		t.Errorf("east>west delivered %d, want 0", st.Delivered)
+	if st := g.Trunk("east", "west").Stats(); st.CellsDelivered != 0 {
+		t.Errorf("east>west delivered %d, want 0", st.CellsDelivered)
 	}
 }
 
@@ -166,8 +166,8 @@ func TestGraphRandomLossOnTrunkRoute(t *testing.T) {
 	if st.RandomLoss != n {
 		t.Errorf("trunk RandomLoss = %d, want %d", st.RandomLoss, n)
 	}
-	if up := g.Port("a").Uplink().Stats(); up.Delivered != n {
-		t.Errorf("uplink delivered %d, want %d (loss must happen on the trunk)", up.Delivered, n)
+	if up := g.Port("a").Uplink().Stats(); up.CellsDelivered != n {
+		t.Errorf("uplink delivered %d, want %d (loss must happen on the trunk)", up.CellsDelivered, n)
 	}
 }
 
@@ -198,8 +198,8 @@ func TestGraphDeterministicTieBreak(t *testing.T) {
 	if len(col.frames) != 4 {
 		t.Fatalf("delivered %d", len(col.frames))
 	}
-	if st := g.Trunk("hub", "left").Stats(); st.Delivered != 4 {
-		t.Errorf("left route delivered %d, want 4", st.Delivered)
+	if st := g.Trunk("hub", "left").Stats(); st.CellsDelivered != 4 {
+		t.Errorf("left route delivered %d, want 4", st.CellsDelivered)
 	}
 	if st := g.Trunk("hub", "right").Stats(); st.Enqueued != 0 {
 		t.Errorf("right route saw %d frames, want 0", st.Enqueued)
@@ -237,8 +237,8 @@ func TestGraphTieBreakSurvivesLateEqualCostPath(t *testing.T) {
 	g.Port("src").Send("dstB", 512, nil)
 	g.Port("src").Send("dstE", 512, nil)
 	clock.Run()
-	if st := g.Trunk("hub", "a").Stats(); st.Delivered != 2 {
-		t.Errorf("hub>a carried %d frames, want 2 (lexicographic tie-break)", st.Delivered)
+	if st := g.Trunk("hub", "a").Stats(); st.CellsDelivered != 2 {
+		t.Errorf("hub>a carried %d frames, want 2 (lexicographic tie-break)", st.CellsDelivered)
 	}
 	if st := g.Trunk("hub", "c").Stats(); st.Enqueued != 0 {
 		t.Errorf("hub>c carried %d frames, want 0", st.Enqueued)
@@ -305,7 +305,7 @@ func TestGraphStatsResetCleanly(t *testing.T) {
 	// The fabric still routes after a reset.
 	g.Port("a").Send("b", 500, "again")
 	clock.Run()
-	if g.Trunk("west", "east").Stats().Delivered != 1 {
+	if g.Trunk("west", "east").Stats().CellsDelivered != 1 {
 		t.Error("delivery after reset not accounted from zero")
 	}
 }

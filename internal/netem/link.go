@@ -25,19 +25,49 @@ type LinkConfig struct {
 	LossProb float64
 	// RNG drives random loss. Only consulted when LossProb > 0.
 	RNG *sim.RNG
+	// TrainSize, when > 1, enables cell trains: up to TrainSize
+	// back-to-back queued frames are coalesced into one train that
+	// serializes, propagates and delivers as a batch, amortizing event
+	// scheduling, ring churn and handler dispatch across the burst.
+	// Values <= 1 select the untrained per-frame machinery verbatim, so
+	// TrainSize 0 and 1 are byte-identical (the determinism fixture
+	// relies on this). Train membership is decided at formation time:
+	// frames arriving while a train serializes join the next one, a
+	// train never mixes the priority and data classes, and an installed
+	// scheduler's preemption points split trains (see transmitTrain).
+	TrainSize int
 }
 
 // LinkStats counts what happened on a link. All counters are cumulative
 // since construction or the last ResetStats.
+//
+// CellsDelivered counts frames handed to the receiver; TrainsDelivered
+// counts delivery events. On an untrained link the two advance in
+// lockstep (every delivery carries one frame), so their ratio — the
+// mean train length, see MeanTrainLen — is exactly 1 there and measures
+// the achieved coalescing on trained links.
 type LinkStats struct {
-	Enqueued    uint64         // frames accepted into the queue
-	Delivered   uint64         // frames handed to the receiver
-	TailDrops   uint64         // frames dropped because the queue was full
-	RandomLoss  uint64         // frames dropped by the loss process
-	SchedDrops  uint64         // frames refused by the installed scheduler
-	BytesOut    units.DataSize // payload bytes delivered
-	QueueDelay  time.Duration  // total time frames spent queued (excl. serialization)
-	MaxQueueLen int            // high-water mark of queued frames
+	Enqueued        uint64         // frames accepted into the queue
+	CellsDelivered  uint64         // frames handed to the receiver
+	TrainsDelivered uint64         // delivery events (trains; = frames when untrained)
+	TrainStretched  uint64         // frames that joined a train mid-serialization
+	TailDrops       uint64         // frames dropped because the queue was full
+	RandomLoss      uint64         // frames dropped by the loss process
+	SchedDrops      uint64         // frames refused by the installed scheduler
+	BytesOut        units.DataSize // payload bytes delivered
+	QueueDelay      time.Duration  // total time frames spent queued (excl. serialization)
+	MaxQueueLen     int            // high-water mark of queued frames
+}
+
+// MeanTrainLen returns frames per delivery event — 1.0 on an untrained
+// link, up to TrainSize under full coalescing, 0 when nothing was
+// delivered. Result tables and sweep sinks surface it as a derived
+// column.
+func (s LinkStats) MeanTrainLen() float64 {
+	if s.TrainsDelivered == 0 {
+		return 0
+	}
+	return float64(s.CellsDelivered) / float64(s.TrainsDelivered)
 }
 
 // Merge accumulates another snapshot into s: counters add, the queue
@@ -45,7 +75,9 @@ type LinkStats struct {
 // the same link's stats across replications.
 func (s *LinkStats) Merge(o LinkStats) {
 	s.Enqueued += o.Enqueued
-	s.Delivered += o.Delivered
+	s.CellsDelivered += o.CellsDelivered
+	s.TrainsDelivered += o.TrainsDelivered
+	s.TrainStretched += o.TrainStretched
 	s.TailDrops += o.TailDrops
 	s.RandomLoss += o.RandomLoss
 	s.SchedDrops += o.SchedDrops
@@ -80,11 +112,34 @@ type Link struct {
 	queuedBytes units.DataSize
 	busy        bool
 
-	serializing *Frame    // the frame occupying the serializer
+	serializing *Frame    // the frame occupying the serializer (untrained)
 	inflight    frameRing // serialized frames in the propagation stage
 
-	txDoneFn  func() // onTxDone bound once
-	deliverFn func() // onDeliver bound once
+	// Train state (TrainSize > 1 only). train holds the members of the
+	// train occupying the serializer; survivors records, per in-flight
+	// train, how many members passed the loss stage (the propagation
+	// FIFO interleaves members of consecutive trains, so delivery needs
+	// the per-train count); deliverBuf is the scratch batch handed to a
+	// TrainHandler. All three reach their working set once and are
+	// reused — steady-state train transit is allocation-free.
+	train      []*Frame
+	survivors  countRing
+	deliverBuf []*Frame
+
+	// Stretching state: a frame arriving while a train with room is in
+	// the serializer joins it, pushing the train's completion back by
+	// the frame's own serialization time. trainSrc records which queue
+	// the train draws from (a train never mixes sources), trainRate the
+	// formation-time rate every member — joiners included — serializes
+	// at, trainDoneAt the currently scheduled completion instant, and
+	// txDoneEv the completion event being pushed back.
+	trainSrc    trainSource
+	trainRate   units.DataRate
+	trainDoneAt sim.Time
+	txDoneEv    sim.Handle
+
+	txDoneFn  func() // onTxDone / onTxDoneTrain bound once
+	deliverFn func() // onDeliver / onDeliverTrain bound once
 
 	// pool, when non-nil, receives dead frames (dropped, lost, or — on
 	// terminal links — delivered). terminal marks the last link before a
@@ -141,9 +196,17 @@ func NewLink(name string, clock *sim.Clock, cfg LinkConfig, dst Handler) *Link {
 	if dst == nil {
 		panic(fmt.Sprintf("netem: link %q with nil destination", name))
 	}
+	if cfg.TrainSize < 0 {
+		panic(fmt.Sprintf("netem: link %q with negative train size %d", name, cfg.TrainSize))
+	}
 	l := &Link{name: name, clock: clock, cfg: cfg, dst: dst}
-	l.txDoneFn = l.onTxDone
-	l.deliverFn = l.onDeliver
+	if cfg.TrainSize > 1 {
+		l.txDoneFn = l.onTxDoneTrain
+		l.deliverFn = l.onDeliverTrain
+	} else {
+		l.txDoneFn = l.onTxDone
+		l.deliverFn = l.onDeliver
+	}
 	return l
 }
 
@@ -243,8 +306,16 @@ func (l *Link) Send(f *Frame) bool {
 	if n := l.QueueLen(); n > l.stats.MaxQueueLen {
 		l.stats.MaxQueueLen = n
 	}
-	if !l.busy {
+	switch {
+	case !l.busy:
 		l.transmitNext()
+	case len(l.train) > 0 && len(l.train) < l.cfg.TrainSize:
+		// A train with room is mid-serialization: the arrival may join
+		// it instead of waiting a full train cycle. This is what lets
+		// coalescing survive smooth arrivals — a steady stream at the
+		// service rate would otherwise always find the serializer busy
+		// and form singleton trains forever.
+		l.stretchTrain()
 	}
 	return true
 }
@@ -252,6 +323,10 @@ func (l *Link) Send(f *Frame) bool {
 // transmitNext pops the next frame — control before data, FIFO (or the
 // installed scheduler's pick) within each class — and serializes it.
 func (l *Link) transmitNext() {
+	if l.cfg.TrainSize > 1 {
+		l.transmitTrain()
+		return
+	}
 	var f *Frame
 	switch {
 	case l.prioQueue.len() > 0:
@@ -295,10 +370,243 @@ func (l *Link) onTxDone() {
 // the FIFO head is always the frame this event was scheduled for.
 func (l *Link) onDeliver() {
 	f := l.inflight.pop()
-	l.stats.Delivered++
+	l.stats.CellsDelivered++
+	l.stats.TrainsDelivered++
 	l.stats.BytesOut += f.Size
 	l.dst.Deliver(f)
 	if l.terminal {
 		l.pool.Put(f)
 	}
+}
+
+// --- cell trains (TrainSize > 1) --------------------------------------
+
+// trainSource identifies the queue a forming train draws from. Control
+// and data frames never share a train, and a scheduler-sourced train
+// respects the scheduler's preemption points, so the source is fixed at
+// formation and constrains who may join mid-serialization.
+type trainSource uint8
+
+const (
+	trainSrcNone trainSource = iota
+	trainSrcPrio
+	trainSrcData
+	trainSrcSched
+)
+
+// transmitTrain forms and serializes the next train. Formation rules:
+//
+//   - A train draws from exactly one source — the priority ring, the
+//     data ring, or the installed scheduler — chosen with the same
+//     precedence as the per-frame path. Control and data frames never
+//     share a train, so priority precedence is preserved at train
+//     granularity.
+//   - Up to TrainSize frames are taken, but only frames that are
+//     already queued: arrivals during serialization join the next
+//     train, exactly as a hardware burst-dequeue sees only its moment's
+//     backlog.
+//   - A scheduler that exposes its next pick's circuit (CircPeeker,
+//     implemented by the EWMA scheduler) bounds the train to one
+//     circuit: the train ends where the scheduler would preempt.
+//     Schedulers without the method (FIFO) are circuit-agnostic and
+//     coalesce freely, as does the built-in ring.
+//
+// The whole train serializes as one event at the formation-time rate
+// over its summed bytes — SetRate mid-train therefore applies from the
+// *next* train, the batched analogue of the per-frame rule.
+func (l *Link) transmitTrain() {
+	l.train = l.train[:0]
+	max := l.cfg.TrainSize
+	switch {
+	case l.prioQueue.len() > 0:
+		l.trainSrc = trainSrcPrio
+		for len(l.train) < max && l.prioQueue.len() > 0 {
+			l.train = append(l.train, l.prioQueue.pop())
+		}
+	case l.queue.len() > 0:
+		l.trainSrc = trainSrcData
+		for len(l.train) < max && l.queue.len() > 0 {
+			l.train = append(l.train, l.queue.pop())
+		}
+	case l.sched != nil && l.sched.Len() > 0:
+		l.trainSrc = trainSrcSched
+		peeker, _ := l.sched.(CircPeeker)
+		first := l.sched.Pop()
+		l.train = append(l.train, first)
+		for len(l.train) < max && l.sched.Len() > 0 {
+			if peeker != nil {
+				if circ, ok := peeker.PeekCirc(); !ok || circ != first.Circ {
+					break // scheduler preemption point: never span it
+				}
+			}
+			l.train = append(l.train, l.sched.Pop())
+		}
+	default:
+		l.trainSrc = trainSrcNone
+		l.busy = false
+		return
+	}
+	now := l.clock.Now()
+	var bytes units.DataSize
+	for _, f := range l.train {
+		l.queuedBytes -= f.Size
+		l.stats.QueueDelay += now.Sub(f.enqueuedAt)
+		bytes += f.Size
+	}
+	l.busy = true
+	l.trainRate = l.cfg.Rate
+	l.trainDoneAt = now.Add(l.trainRate.TransmissionTime(bytes))
+	l.txDoneEv = l.clock.At(l.trainDoneAt, l.txDoneFn)
+}
+
+// stretchTrain moves joinable queued frames into the train occupying
+// the serializer, pushing its completion event back by each joiner's
+// serialization time at the train's formation-time rate (a SetRate
+// still applies from the next train, stretched or not). Only frames
+// from the train's own source may join, and a scheduler-sourced train
+// still ends at the scheduler's preemption point — stretching never
+// reorders anything, it only re-draws the train boundary around frames
+// that would have been next anyway.
+func (l *Link) stretchTrain() {
+	now := l.clock.Now()
+	joined := false
+	for len(l.train) < l.cfg.TrainSize {
+		var f *Frame
+		switch l.trainSrc {
+		case trainSrcPrio:
+			if l.prioQueue.len() == 0 {
+				goto done
+			}
+			f = l.prioQueue.pop()
+		case trainSrcData:
+			if l.queue.len() == 0 {
+				goto done
+			}
+			f = l.queue.pop()
+		case trainSrcSched:
+			if l.sched == nil || l.sched.Len() == 0 {
+				goto done
+			}
+			if peeker, ok := l.sched.(CircPeeker); ok {
+				if circ, ok := peeker.PeekCirc(); !ok || circ != l.train[0].Circ {
+					goto done
+				}
+			}
+			f = l.sched.Pop()
+		default:
+			goto done
+		}
+		l.queuedBytes -= f.Size
+		l.stats.QueueDelay += now.Sub(f.enqueuedAt)
+		l.stats.TrainStretched++
+		l.train = append(l.train, f)
+		l.trainDoneAt = l.trainDoneAt.Add(l.trainRate.TransmissionTime(f.Size))
+		joined = true
+	}
+done:
+	if joined && !l.txDoneEv.Reschedule(l.trainDoneAt) {
+		panic(fmt.Sprintf("netem: link %q stretching a train with no pending completion", l.name))
+	}
+}
+
+// onTxDoneTrain moves a serialized train into the propagation stage.
+// The loss process stays per-cell: each member gets its own Bernoulli
+// draw, in queue order, so a mid-train cell can be lost while its
+// neighbors survive — and a link's draw sequence is identical to what
+// the same frame sequence would consume untrained. Survivors enter the
+// propagation FIFO together with their count; a fully-lost train
+// schedules no delivery at all.
+func (l *Link) onTxDoneTrain() {
+	survived := 0
+	for i, f := range l.train {
+		if l.cfg.LossProb > 0 && l.cfg.RNG.Bernoulli(l.cfg.LossProb) {
+			l.stats.RandomLoss++
+			if l.OnDrop != nil {
+				l.OnDrop(f, DropLoss)
+			}
+			l.pool.Put(f)
+		} else {
+			l.inflight.push(f)
+			survived++
+		}
+		l.train[i] = nil
+	}
+	l.train = l.train[:0]
+	if survived > 0 {
+		l.survivors.push(survived)
+		l.clock.After(l.cfg.Delay, l.deliverFn)
+	}
+	l.transmitTrain()
+}
+
+// onDeliverTrain completes the propagation of the oldest in-flight
+// train: its surviving members leave the FIFO as one batch. A
+// destination that implements TrainHandler receives the whole batch in
+// a single call (relays use this to amortize per-circuit lookups);
+// otherwise members are handed over one Deliver at a time, in order.
+func (l *Link) onDeliverTrain() {
+	n := l.survivors.pop()
+	batch := l.deliverBuf[:0]
+	var bytes units.DataSize
+	for i := 0; i < n; i++ {
+		f := l.inflight.pop()
+		batch = append(batch, f)
+		bytes += f.Size
+	}
+	l.deliverBuf = batch
+	l.stats.CellsDelivered += uint64(n)
+	l.stats.TrainsDelivered++
+	l.stats.BytesOut += bytes
+	if th, ok := l.dst.(TrainHandler); ok && n > 1 {
+		th.DeliverTrain(batch)
+	} else {
+		for _, f := range batch {
+			l.dst.Deliver(f)
+		}
+	}
+	if l.terminal {
+		for _, f := range batch {
+			l.pool.Put(f)
+		}
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	l.deliverBuf = l.deliverBuf[:0]
+}
+
+// countRing is a growable FIFO of per-train survivor counts, the
+// companion of the inflight frame ring. Power-of-two capacity, mask
+// wrap, amortized growth — allocation-free once at its working set.
+type countRing struct {
+	buf  []int
+	head int
+	n    int
+}
+
+func (r *countRing) push(v int) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = 8
+		}
+		buf := make([]int, size)
+		for i := 0; i < r.n; i++ {
+			buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = buf
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *countRing) pop() int {
+	if r.n == 0 {
+		return 0
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
 }

@@ -123,8 +123,8 @@ func TestLinkRandomLoss(t *testing.T) {
 	}
 	clock.Run()
 	st := link.Stats()
-	if st.Delivered+st.RandomLoss != n {
-		t.Fatalf("delivered %d + lost %d != %d", st.Delivered, st.RandomLoss, n)
+	if st.CellsDelivered+st.RandomLoss != n {
+		t.Fatalf("delivered %d + lost %d != %d", st.CellsDelivered, st.RandomLoss, n)
 	}
 	lossRate := float64(st.RandomLoss) / n
 	if lossRate < 0.25 || lossRate > 0.35 {
@@ -139,8 +139,8 @@ func TestLinkStatsAccounting(t *testing.T) {
 	}
 	clock.Run()
 	st := link.Stats()
-	if st.Enqueued != 5 || st.Delivered != 5 {
-		t.Errorf("Enqueued=%d Delivered=%d, want 5/5", st.Enqueued, st.Delivered)
+	if st.Enqueued != 5 || st.CellsDelivered != 5 {
+		t.Errorf("Enqueued=%d Delivered=%d, want 5/5", st.Enqueued, st.CellsDelivered)
 	}
 	if st.BytesOut != 5*512 {
 		t.Errorf("BytesOut = %v, want 2560", st.BytesOut)
@@ -389,17 +389,17 @@ func TestFramePoolRecyclesThroughFabric(t *testing.T) {
 	star.Attach("b", Symmetric(units.Mbps(10), 0, 0), HandlerFunc(func(*Frame) {}), nil)
 	pa.Send("b", 512, "x")
 	clock.Run()
-	if n := len(star.pool.free); n != 1 {
+	if n := len(star.pool.s.free); n != 1 {
 		t.Fatalf("pool holds %d frames after delivery, want 1", n)
 	}
-	f := star.pool.free[0]
+	f := star.pool.s.free[0]
 	if f.Payload != nil {
 		t.Fatal("recycled frame retains payload")
 	}
 	// Unknown destinations recycle too.
 	pa.Send("ghost", 512, "y")
 	clock.Run()
-	if n := len(star.pool.free); n != 1 {
+	if n := len(star.pool.s.free); n != 1 {
 		t.Fatalf("pool holds %d frames after unknown-dst drop, want 1", n)
 	}
 }

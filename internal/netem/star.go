@@ -51,7 +51,7 @@ func (s *StarFabric) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RNG
 	if h == nil {
 		panic(fmt.Sprintf("netem: node %q attached with nil handler", id))
 	}
-	p := newPort(id, s.clock, cfg, HandlerFunc(s.route), h, rng, s.pool)
+	p := newPort(id, s.clock, cfg, s, h, rng, s.pool)
 	s.ports[id] = p
 	return p
 }
@@ -66,6 +66,20 @@ func (s *StarFabric) route(f *Frame) {
 		return
 	}
 	dst.down.Send(f)
+}
+
+// Deliver makes the fabric the uplinks' ingress handler: every frame an
+// uplink completes enters the switching stage.
+func (s *StarFabric) Deliver(f *Frame) { s.route(f) }
+
+// DeliverTrain routes a whole uplink train in one call. The frames
+// enqueue on their downlinks back to back at the same instant, so a
+// train arriving at the switch leaves it as a train — coalescing
+// propagates through the fabric rather than dissolving at each hop.
+func (s *StarFabric) DeliverTrain(fs []*Frame) {
+	for _, f := range fs {
+		s.route(f)
+	}
 }
 
 // Port returns the port of an attached node, or nil.
@@ -84,6 +98,9 @@ func (s *StarFabric) Nodes() []NodeID {
 
 // Trunks returns nil: a star has no fabric-internal links.
 func (s *StarFabric) Trunks() []*Link { return nil }
+
+// FramePool returns the fabric's frame pool.
+func (s *StarFabric) FramePool() *FramePool { return s.pool }
 
 // UnknownDst returns how many frames were addressed to detached nodes.
 func (s *StarFabric) UnknownDst() uint64 { return s.unknownDst }

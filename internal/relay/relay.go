@@ -101,6 +101,17 @@ type Relay struct {
 	// uplink scheduler, held concretely so RemoveHop can Forget circuits.
 	mgr   *resource.Manager
 	sched sched.Queue
+
+	// segs recycles the boxed segment wrappers this relay attaches to
+	// outgoing frames. core.Network shares one pool per network and
+	// reclaims wrappers through the fabric FramePool's OnReclaim hook; a
+	// nil pool degrades to plain allocation.
+	segs *transport.SegmentPool
+
+	// ackFlush is DeliverTrain's scratch list of receivers owing a
+	// coalesced acknowledgment; it reaches its working set (distinct
+	// circuit×direction runs per train) once and is reused.
+	ackFlush []*transport.Receiver
 }
 
 // New creates a relay and attaches it to the fabric.
@@ -110,9 +121,13 @@ func New(id netem.NodeID, fab netem.Fabric, access netem.AccessConfig, rng *sim.
 		clock: fab.Clock(),
 		hops:  make(map[cell.CircID]*hop),
 	}
-	r.port = fab.Attach(id, access, netem.HandlerFunc(r.deliver), rng)
+	r.port = fab.Attach(id, access, r, rng)
 	return r
 }
+
+// UseSegmentPool wires the shared segment-wrapper pool (see
+// core.Network). Must be set before traffic flows; nil is valid.
+func (r *Relay) UseSegmentPool(sp *transport.SegmentPool) { r.segs = sp }
 
 // Configure applies a scheduling/limits config to a fresh relay:
 // non-FIFO disciplines (or a bandwidth cap) install a scheduler on the
@@ -248,16 +263,21 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	}
 	h := &hop{circ: circ, pred: pred, succ: succ, keys: keys, exit: exit}
 
+	// On a train-running port, per-cell upstream signalling coalesces to
+	// burst boundaries (one FEEDBACK per pump drain, one ACK per train).
+	batch := r.port.Config().TrainSize > 1
+
 	fwd := params
 	fwd.Clock = r.clock
 	fwd.Circ = circ
 	fwd.Send = func(seg transport.Segment) bool {
 		seg.Dir = transport.DirForward
-		return sendSegment(r.port, succ, seg)
+		return sendSegment(r.segs, r.port, succ, seg)
 	}
 	// The feedback chain: the first onward transmission of a cell is
 	// the moment this relay "forwards" it, which the receiver reports
 	// upstream as FEEDBACK.
+	fwd.BatchSignals = batch
 	fwd.OnFirstTransmit = func(count uint64) {
 		h.recv.NotifyForwarded(count)
 	}
@@ -271,7 +291,7 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	h.recv = transport.NewReceiver(circ,
 		func(seg transport.Segment) bool {
 			seg.Dir = transport.DirForward
-			return sendSegment(r.port, pred, seg)
+			return sendSegment(r.segs, r.port, pred, seg)
 		},
 		func(c *cell.Cell) { r.processCell(h, c) },
 	)
@@ -281,8 +301,9 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	back.Circ = circ
 	back.Send = func(seg transport.Segment) bool {
 		seg.Dir = transport.DirBackward
-		return sendSegment(r.port, pred, seg)
+		return sendSegment(r.segs, r.port, pred, seg)
 	}
+	back.BatchSignals = batch
 	back.OnFirstTransmit = func(count uint64) {
 		h.brecv.NotifyForwarded(count)
 	}
@@ -294,7 +315,7 @@ func (r *Relay) AddHop(circ cell.CircID, pred, succ netem.NodeID, keys *onion.Ho
 	h.brecv = transport.NewReceiver(circ,
 		func(seg transport.Segment) bool {
 			seg.Dir = transport.DirBackward
-			return sendSegment(r.port, succ, seg)
+			return sendSegment(r.segs, r.port, succ, seg)
 		},
 		func(c *cell.Cell) { r.processBackwardCell(h, c) },
 	)
@@ -336,11 +357,19 @@ func (r *Relay) RemoveHop(circ cell.CircID) bool {
 // FEEDBACK, PROBE) link priority so congestion feedback is not delayed
 // by the data queues it describes. Data frames carry their circuit ID
 // so installed circuit schedulers can tell flows apart.
-func sendSegment(p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
+//
+// The segment rides the frame as a pooled *Segment wrapper: boxing the
+// value directly would allocate on every hop transmission, the single
+// hottest allocation site of a transfer. The wrapper returns to sp via
+// the fabric FramePool's OnReclaim hook when the frame dies; a nil
+// pool allocates a fresh wrapper per call.
+func sendSegment(sp *transport.SegmentPool, p *netem.Port, dst netem.NodeID, seg transport.Segment) bool {
+	s := sp.Get()
+	*s = seg
 	if seg.Kind == transport.KindData {
-		return p.SendCirc(dst, seg.WireSize(), seg, uint32(seg.Circ))
+		return p.SendCirc(dst, seg.WireSize(), s, uint32(seg.Circ))
 	}
-	return p.SendPriority(dst, seg.WireSize(), seg)
+	return p.SendPriority(dst, seg.WireSize(), s)
 }
 
 // processCell removes this relay's onion layer and forwards the cell.
@@ -384,14 +413,14 @@ func looksRecognized(hdr cell.RelayHeader) bool {
 	return hdr.Cmd >= cell.RelayData && hdr.Cmd <= cell.RelaySendme
 }
 
-// deliver demultiplexes frames from the network to the right hop and
-// direction.
-func (r *Relay) deliver(f *netem.Frame) {
+// Deliver demultiplexes a frame from the network to the right hop and
+// direction (netem.Handler).
+func (r *Relay) Deliver(f *netem.Frame) {
 	if r.failed {
 		r.stats.FailedDrops++
 		return
 	}
-	seg, ok := f.Payload.(transport.Segment)
+	seg, ok := f.Payload.(*transport.Segment)
 	if !ok {
 		panic(fmt.Sprintf("relay %s: non-segment frame from %s", r.id, f.Src))
 	}
@@ -400,7 +429,51 @@ func (r *Relay) deliver(f *netem.Frame) {
 		r.stats.UnknownCircuit++
 		return
 	}
-	switch f.Src {
+	r.dispatch(h, f.Src, seg)
+}
+
+// DeliverTrain demultiplexes a whole cell train in one call
+// (netem.TrainHandler). A train is typically a same-circuit run — the
+// EWMA scheduler guarantees it, FIFO bursts usually are — so the
+// circuit-table lookup is hoisted across the run: the per-cell onion
+// work stays, but the per-cell demux bookkeeping is paid once per run
+// instead of once per cell.
+func (r *Relay) DeliverTrain(fs []*netem.Frame) {
+	if r.failed {
+		r.stats.FailedDrops += uint64(len(fs))
+		return
+	}
+	var h *hop
+	var hCirc cell.CircID
+	for _, f := range fs {
+		seg, ok := f.Payload.(*transport.Segment)
+		if !ok {
+			panic(fmt.Sprintf("relay %s: non-segment frame from %s", r.id, f.Src))
+		}
+		if h == nil || seg.Circ != hCirc {
+			h, hCirc = r.hops[seg.Circ], seg.Circ
+		}
+		if h == nil {
+			r.stats.UnknownCircuit++
+			continue
+		}
+		if rcv := r.dispatchBatched(h, f.Src, seg); rcv != nil {
+			r.ackFlush = append(r.ackFlush, rcv)
+		}
+	}
+	// One cumulative FEEDBACK+ACK pair per receiver that saw data in
+	// this train, instead of one per cell.
+	for i, rcv := range r.ackFlush {
+		rcv.Flush()
+		r.ackFlush[i] = nil
+	}
+	r.ackFlush = r.ackFlush[:0]
+}
+
+// dispatch routes one segment to the hop's transport instance for its
+// (source, direction, kind).
+func (r *Relay) dispatch(h *hop, src netem.NodeID, seg *transport.Segment) {
+	switch src {
 	case h.pred:
 		if seg.Dir == transport.DirBackward {
 			// Control for our backward sender.
@@ -448,4 +521,61 @@ func (r *Relay) deliver(f *netem.Frame) {
 	default:
 		r.stats.UnknownSource++
 	}
+}
+
+// dispatchBatched is dispatch for cell-train delivery: data segments
+// defer their acknowledgment (Receiver.HandleDataBatched), and the
+// receiver that newly owes an ack is returned so DeliverTrain can flush
+// it once after the whole train is processed. Control segments are
+// handled exactly as in dispatch.
+func (r *Relay) dispatchBatched(h *hop, src netem.NodeID, seg *transport.Segment) *transport.Receiver {
+	switch src {
+	case h.pred:
+		if seg.Dir == transport.DirBackward {
+			switch seg.Kind {
+			case transport.KindAck:
+				h.bsend.HandleAck(seg.Count)
+			case transport.KindFeedback:
+				h.bsend.HandleFeedback(seg.Count)
+			default:
+				r.stats.UnknownSource++
+			}
+			return nil
+		}
+		switch seg.Kind {
+		case transport.KindData:
+			if h.recv.HandleDataBatched(seg.Seq, seg.Cell) {
+				return h.recv
+			}
+		case transport.KindProbe:
+			h.recv.HandleProbe()
+		default:
+			r.stats.UnknownSource++
+		}
+	case h.succ:
+		if seg.Dir == transport.DirBackward {
+			switch seg.Kind {
+			case transport.KindData:
+				if h.brecv.HandleDataBatched(seg.Seq, seg.Cell) {
+					return h.brecv
+				}
+			case transport.KindProbe:
+				h.brecv.HandleProbe()
+			default:
+				r.stats.UnknownSource++
+			}
+			return nil
+		}
+		switch seg.Kind {
+		case transport.KindAck:
+			h.send.HandleAck(seg.Count)
+		case transport.KindFeedback:
+			h.send.HandleFeedback(seg.Count)
+		default:
+			r.stats.UnknownSource++
+		}
+	default:
+		r.stats.UnknownSource++
+	}
+	return nil
 }

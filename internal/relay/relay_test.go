@@ -38,13 +38,13 @@ func newTestRig(t *testing.T) *testRig {
 	rig.relay = New("relay", star, access, nil)
 
 	star.Attach("src", access, netem.HandlerFunc(func(f *netem.Frame) {
-		rig.srcGot = append(rig.srcGot, f.Payload.(transport.Segment))
+		rig.srcGot = append(rig.srcGot, *f.Payload.(*transport.Segment))
 	}), nil)
 	// The sink records raw segments for assertions but also behaves as
 	// a live hop receiver — otherwise the relay's onward window (2
 	// cells initially) stalls after two cells.
 	sinkPort := star.Attach("sink", access, netem.HandlerFunc(func(f *netem.Frame) {
-		seg := f.Payload.(transport.Segment)
+		seg := *f.Payload.(*transport.Segment)
 		rig.sinkGot = append(rig.sinkGot, seg)
 		switch seg.Kind {
 		case transport.KindData:
@@ -54,7 +54,7 @@ func newTestRig(t *testing.T) *testRig {
 		}
 	}), nil)
 	rig.sinkRecv = transport.NewReceiver(7, func(seg transport.Segment) bool {
-		return sinkPort.Send("relay", seg.WireSize(), seg)
+		return sinkPort.Send("relay", seg.WireSize(), &seg)
 	}, func(*cell.Cell) {
 		rig.sinkRecv.NotifyForwarded(rig.sinkRecv.Expected())
 	})
@@ -104,7 +104,7 @@ func (r *testRig) addHop(t *testing.T) {
 func (r *testRig) sendData(seq uint64, c *cell.Cell) {
 	port := r.star.Port("src")
 	seg := transport.Segment{Kind: transport.KindData, Circ: 7, Seq: seq, Cell: c}
-	port.Send("relay", seg.WireSize(), seg)
+	port.Send("relay", seg.WireSize(), &seg)
 }
 
 func (r *testRig) run() { r.clock.RunUntil(r.clock.Now() + 10*sim.Second) }
@@ -207,7 +207,7 @@ func TestRelayDropsUnknownCircuit(t *testing.T) {
 	rig.addHop(t)
 	port := rig.star.Port("src")
 	seg := transport.Segment{Kind: transport.KindData, Circ: 99, Seq: 0, Cell: rig.dataCell('z')}
-	port.Send("relay", seg.WireSize(), seg)
+	port.Send("relay", seg.WireSize(), &seg)
 	rig.run()
 	if got := rig.relay.Stats().UnknownCircuit; got != 1 {
 		t.Fatalf("UnknownCircuit = %d", got)
@@ -224,7 +224,7 @@ func TestRelayIgnoresStrangerFrames(t *testing.T) {
 	rig.star.Attach("stranger", netem.Symmetric(units.Mbps(10), time.Millisecond, 0),
 		netem.HandlerFunc(func(*netem.Frame) {}), nil)
 	seg := transport.Segment{Kind: transport.KindAck, Circ: 7, Count: 5}
-	rig.star.Port("stranger").Send("relay", seg.WireSize(), seg)
+	rig.star.Port("stranger").Send("relay", seg.WireSize(), &seg)
 	rig.run()
 	if got := rig.relay.Stats().UnknownSource; got != 1 {
 		t.Fatalf("UnknownSource = %d", got)
@@ -295,7 +295,7 @@ func TestRelayProbeAnswered(t *testing.T) {
 	rig.run()
 	before := len(rig.srcGot)
 	seg := transport.Segment{Kind: transport.KindProbe, Circ: 7}
-	rig.star.Port("src").Send("relay", seg.WireSize(), seg)
+	rig.star.Port("src").Send("relay", seg.WireSize(), &seg)
 	rig.run()
 	var ack, fb bool
 	for _, s := range rig.srcGot[before:] {
@@ -324,7 +324,7 @@ func backCell(payload byte) *cell.Cell {
 func (r *testRig) sendBackwardData(seq uint64, c *cell.Cell) {
 	port := r.star.Port("sink")
 	seg := transport.Segment{Kind: transport.KindData, Dir: transport.DirBackward, Circ: 7, Seq: seq, Cell: c}
-	port.Send("relay", seg.WireSize(), seg)
+	port.Send("relay", seg.WireSize(), &seg)
 }
 
 func TestRelayBackwardExitSealsAndEncrypts(t *testing.T) {
@@ -413,7 +413,7 @@ func TestRelayBackwardControlDemux(t *testing.T) {
 		t.Fatal("backward sender transmitted nothing")
 	}
 	seg := transport.Segment{Kind: transport.KindAck, Dir: transport.DirBackward, Circ: 7, Count: sentBefore}
-	rig.star.Port("src").Send("relay", seg.WireSize(), seg)
+	rig.star.Port("src").Send("relay", seg.WireSize(), &seg)
 	rig.clock.RunUntil(rig.clock.Now() + sim.Second)
 	if bs.Stats().Acked != sentBefore {
 		t.Fatalf("backward sender acked=%d, want %d", bs.Stats().Acked, sentBefore)

@@ -72,7 +72,7 @@ func TestBackboneResultSurfacesTrunkStats(t *testing.T) {
 		}
 		var delivered uint64
 		for _, ts := range arm.Trunks() {
-			delivered += ts.Stats.Delivered
+			delivered += ts.Stats.CellsDelivered
 		}
 		if delivered == 0 {
 			t.Errorf("arm %s: no frames crossed any trunk", arm.Name)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"circuitstart/internal/arena"
 	"circuitstart/internal/core"
 	"circuitstart/internal/directory"
 	"circuitstart/internal/netem"
@@ -170,15 +171,28 @@ type churnEngine struct {
 
 	pathRNG   *sim.RNG // churn-arrival and rebuild path sampling
 	downloads []*download
+	dlSlab    *arena.Slab[download] // nil without an arena
 	failed    map[netem.NodeID]bool
 	churn     ChurnStats
+}
+
+// newDownload allocates a ledger entry — from the trial arena's slab
+// when one is in play (churn-heavy trials create thousands), from the
+// heap otherwise.
+func (e *churnEngine) newDownload(index int) *download {
+	if e.dlSlab != nil {
+		d := e.dlSlab.New()
+		d.index = index
+		return d
+	}
+	return &download{index: index}
 }
 
 // runChurn executes one trial with the dynamic circuit lifecycle:
 // initial circuits start per the arrival process exactly as in the
 // static path (same RNG streams), then churn arrivals, scheduled
 // teardowns and relay failure/recovery play out on the trial's clock.
-func runChurn(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, ChurnStats, error) {
+func runChurn(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) ([]CircuitOutcome, NetStats, ChurnStats, error) {
 	e := &churnEngine{
 		sc:      sc,
 		arm:     arm,
@@ -186,18 +200,23 @@ func runChurn(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetS
 		pathRNG: sim.NewRNG(seed, "scenario-churn-paths"),
 		failed:  make(map[netem.NodeID]bool),
 	}
+	if ar != nil {
+		e.dlSlab = ar.Slot("scenario.downloads", func() any {
+			return new(arena.Slab[download])
+		}).(*arena.Slab[download])
+	}
 	e.churn.Lifetime = newLifetimeDist(arm.Name)
 
 	var initial []*core.Circuit
 	if sc.Topology.Population != nil {
-		wsc, err := workload.Build(seed, workloadParams(sc, arm))
+		wsc, err := workload.Build(seed, workloadParams(sc, arm, ar))
 		if err != nil {
 			return nil, NetStats{}, ChurnStats{}, err
 		}
 		e.n, e.cons, initial = wsc.Network, wsc.Consensus, wsc.Circuits
 		e.access = wsc.Params.ClientAccess
 	} else {
-		n, circuits, access, err := buildExplicit(sc, arm, seed)
+		n, circuits, access, err := buildExplicit(sc, arm, seed, ar)
 		if err != nil {
 			return nil, NetStats{}, ChurnStats{}, err
 		}
@@ -216,7 +235,8 @@ func runChurn(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetS
 	// relay; its download is recorded as rejected and never starts.
 	delays := arrivalDelays(seed, sc.Circuits, len(initial))
 	for i, c := range initial {
-		d := &download{index: i, circuit: c}
+		d := e.newDownload(i)
+		d.circuit = c
 		e.downloads = append(e.downloads, d)
 		if c == nil {
 			d.aborted, d.rejected = true, true
@@ -244,7 +264,7 @@ func runChurn(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetS
 		var at time.Duration
 		for j := 0; j < ce.Arrivals; j++ {
 			at += time.Duration(rng.Exponential(1/ce.ArrivalRate) * float64(time.Second))
-			d := &download{index: len(e.downloads)}
+			d := e.newDownload(len(e.downloads))
 			e.downloads = append(e.downloads, d)
 			delay := at
 			e.n.Clock().After(delay, func() { e.arrive(d) })

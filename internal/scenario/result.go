@@ -243,12 +243,13 @@ func (r *Result) WriteText(w io.Writer) error {
 	if !hasTrunks {
 		return nil
 	}
-	tbl := traceio.NewTable("arm", "trunk", "delivered", "bytes_out", "tail_drops", "random_loss", "max_queue", "queue_delay")
+	tbl := traceio.NewTable("arm", "trunk", "delivered", "bytes_out", "tail_drops", "random_loss", "max_queue", "queue_delay", "mean_train")
 	for i := range r.Arms {
 		arm := &r.Arms[i]
 		for _, ts := range arm.Trunks() {
-			tbl.AddRowf(arm.Name, ts.Name, ts.Stats.Delivered, ts.Stats.BytesOut.String(),
-				ts.Stats.TailDrops, ts.Stats.RandomLoss, ts.Stats.MaxQueueLen, ts.Stats.QueueDelay.String())
+			tbl.AddRowf(arm.Name, ts.Name, ts.Stats.CellsDelivered, ts.Stats.BytesOut.String(),
+				ts.Stats.TailDrops, ts.Stats.RandomLoss, ts.Stats.MaxQueueLen, ts.Stats.QueueDelay.String(),
+				fmt.Sprintf("%.2f", ts.Stats.MeanTrainLen()))
 		}
 	}
 	return tbl.WriteText(w)

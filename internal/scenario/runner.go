@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"circuitstart/internal/arena"
 	"circuitstart/internal/core"
 	"circuitstart/internal/metrics"
 	"circuitstart/internal/netem"
@@ -50,13 +51,27 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: consecutive trials on this goroutine
+			// reuse the same clock event free list, cell/segment pools
+			// and object slabs, so only the first trial pays the full
+			// allocation bill. Determinism is unaffected — trial outputs
+			// are pure functions of their seeds, never of which worker's
+			// recycled memory they ran in.
+			ar := arena.New()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= trials {
 					return
 				}
 				rep, arm := i/len(sc.Arms), i%len(sc.Arms)
-				outs[i], nets[i], churns[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep)
+				outs[i], nets[i], churns[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep, ar)
+				if errs[i] != nil {
+					// A failed (possibly panicked) trial may leave the
+					// arena's clock mid-run; start the next trial clean.
+					ar = arena.New()
+				} else {
+					ar.ResetTrial()
+				}
 			}
 		}()
 	}
@@ -115,7 +130,7 @@ func trialSeed(seed int64, rep int) int64 {
 // fails the run cleanly instead of killing the worker pool. Scenarios
 // with churn run the dynamic-lifecycle engine; everything else takes
 // the original static path, unchanged byte for byte.
-func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, net NetStats, churn ChurnStats, err error) {
+func runTrial(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) (out []CircuitOutcome, net NetStats, churn ChurnStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("scenario: arm %q rep %d panicked: %v", arm.Name, rep, p)
@@ -123,11 +138,11 @@ func runTrial(sc Scenario, arm Arm, seed int64, rep int) (out []CircuitOutcome, 
 	}()
 	switch {
 	case sc.hasChurn():
-		out, net, churn, err = runChurn(sc, arm, seed, rep)
+		out, net, churn, err = runChurn(sc, arm, seed, rep, ar)
 	case sc.Topology.Population != nil:
-		out, net, err = runGenerated(sc, arm, seed, rep)
+		out, net, err = runGenerated(sc, arm, seed, rep, ar)
 	default:
-		out, net, err = runExplicit(sc, arm, seed, rep)
+		out, net, err = runExplicit(sc, arm, seed, rep, ar)
 	}
 	if err != nil {
 		err = fmt.Errorf("scenario: arm %q rep %d: %w", arm.Name, rep, err)
@@ -176,7 +191,7 @@ func scheduleEvents(n *core.Network, events []LinkEvent) {
 
 // workloadParams renders the scenario's generated-topology trial into
 // workload.ScenarioParams (shared by the static and churn paths).
-func workloadParams(sc Scenario, arm Arm) workload.ScenarioParams {
+func workloadParams(sc Scenario, arm Arm, ar *arena.Arena) workload.ScenarioParams {
 	var spread time.Duration
 	if sc.Circuits.Arrival.Kind == ArriveUniform {
 		spread = sc.Circuits.Arrival.Spread
@@ -200,6 +215,8 @@ func workloadParams(sc Scenario, arm Arm) workload.ScenarioParams {
 		TraceCwnd:      sc.Probes.TraceCwnd,
 		Fabric:         sc.Topology.Fabric,
 		RelayConfig:    arm.Relay,
+		TrainSize:      sc.TrainSize,
+		Arena:          ar,
 	}
 }
 
@@ -207,8 +224,8 @@ func workloadParams(sc Scenario, arm Arm) workload.ScenarioParams {
 // the workload package. Together/uniform arrivals go through
 // workload.Scenario.Run — the exact execution path of the pre-scenario
 // experiments, preserving their seeded outputs bit for bit.
-func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
-	wsc, err := workload.Build(seed, workloadParams(sc, arm))
+func runGenerated(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) ([]CircuitOutcome, NetStats, error) {
+	wsc, err := workload.Build(seed, workloadParams(sc, arm, ar))
 	if err != nil {
 		return nil, NetStats{}, err
 	}
@@ -226,21 +243,32 @@ func runGenerated(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, 
 // along its declared path. It returns the (defaults-filled) client
 // access so churn arrivals attach identically. Shared by the static
 // and churn paths.
-func buildExplicit(sc Scenario, arm Arm, seed int64) (*core.Network, []*core.Circuit, netem.AccessConfig, error) {
-	var n *core.Network
+func buildExplicit(sc Scenario, arm Arm, seed int64, ar *arena.Arena) (*core.Network, []*core.Circuit, netem.AccessConfig, error) {
+	build := func(clock *sim.Clock, _ *sim.RNG) netem.Fabric {
+		return netem.NewStarFabric(clock)
+	}
 	if spec := sc.Topology.Fabric; spec != nil {
-		fs := *spec
-		n = core.NewNetworkWithFabric(seed, func(clock *sim.Clock, rng *sim.RNG) netem.Fabric {
+		fs := spec.Clone()
+		for i := range fs.Trunks {
+			fs.Trunks[i].Config.TrainSize = sc.TrainSize
+		}
+		build = func(clock *sim.Clock, rng *sim.RNG) netem.Fabric {
 			return fs.Build(clock, rng)
-		})
+		}
+	}
+	var n *core.Network
+	if ar != nil {
+		n = core.NewNetworkInArena(ar, seed, build)
 	} else {
-		n = core.NewNetwork(seed)
+		n = core.NewNetworkWithFabric(seed, build)
 	}
 	if err := n.ConfigureRelays(arm.Relay); err != nil {
 		return nil, nil, netem.AccessConfig{}, err
 	}
 	for _, r := range sc.Topology.Relays {
-		if _, err := n.AddRelay(r.ID, r.Access); err != nil {
+		acc := r.Access
+		acc.TrainSize = sc.TrainSize
+		if _, err := n.AddRelay(r.ID, acc); err != nil {
 			return nil, nil, netem.AccessConfig{}, err
 		}
 	}
@@ -248,6 +276,7 @@ func buildExplicit(sc Scenario, arm Arm, seed int64) (*core.Network, []*core.Cir
 	if access.UpRate == 0 {
 		access = netem.Symmetric(units.Mbps(100), 5*time.Millisecond, 0)
 	}
+	access.TrainSize = sc.TrainSize
 	circuits := make([]*core.Circuit, sc.Circuits.Count)
 	for i := range circuits {
 		source, sink := netem.NodeID("client"), netem.NodeID("server")
@@ -281,8 +310,8 @@ func buildExplicit(sc Scenario, arm Arm, seed int64) (*core.Network, []*core.Cir
 // runExplicit executes one trial over an explicit topology: attach the
 // listed relays in order, schedule link events, build each circuit
 // along its declared path, and run the transfers.
-func runExplicit(sc Scenario, arm Arm, seed int64, rep int) ([]CircuitOutcome, NetStats, error) {
-	n, circuits, _, err := buildExplicit(sc, arm, seed)
+func runExplicit(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) ([]CircuitOutcome, NetStats, error) {
+	n, circuits, _, err := buildExplicit(sc, arm, seed, ar)
 	if err != nil {
 		return nil, NetStats{}, err
 	}

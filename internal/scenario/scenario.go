@@ -193,6 +193,12 @@ type Scenario struct {
 	// crossing a failed relay are torn down at the failure instant;
 	// arms with Rebuild set give the affected downloads fresh circuits.
 	RelayEvents []RelayEvent
+	// TrainSize caps cell-train coalescing on every link of every trial
+	// — access links and backbone trunks alike. Values ≤ 1 keep the
+	// byte-identical one-event-per-cell pipeline; larger values batch
+	// back-to-back queued cells into single link events, trading event
+	// count for coarser link interleaving (see netem.LinkConfig).
+	TrainSize int
 	// Probes selects instrumentation.
 	Probes Probes
 }
@@ -222,6 +228,9 @@ func (sc *Scenario) validate() error {
 	}
 	if sc.Horizon <= 0 {
 		return fmt.Errorf("scenario: non-positive horizon")
+	}
+	if sc.TrainSize < 0 {
+		return fmt.Errorf("scenario: negative train size %d", sc.TrainSize)
 	}
 	if sc.Replications < 0 {
 		return fmt.Errorf("scenario: negative replications")

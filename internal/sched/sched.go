@@ -234,6 +234,19 @@ func (q *EWMA) Pop() *netem.Frame {
 // Len returns the number of queued frames across all circuits.
 func (q *EWMA) Len() int { return q.length }
 
+// PeekCirc reports the circuit the next Pop would serve — the heap
+// root's circuit — without popping or charging cost. Trained links use
+// it to end a train exactly where EWMA would preempt, so batching
+// never changes which circuit gets the wire next. (The FIFO scheduler
+// deliberately lacks this method: FIFO has no preemption points, so
+// its trains coalesce across circuits.)
+func (q *EWMA) PeekCirc() (uint32, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].circ, true
+}
+
 // Forget releases an idle circuit's node to the free list. Circuits
 // with queued frames are left alone (their frames still must drain).
 func (q *EWMA) Forget(circ uint32) {
@@ -385,3 +398,13 @@ func (q *Police) Len() int { return q.inner.Len() }
 
 // Forget forwards to the wrapped scheduler.
 func (q *Police) Forget(circ uint32) { q.inner.Forget(circ) }
+
+// PeekCirc forwards to the wrapped scheduler when it can peek —
+// policing acts at admission, so the dequeue order (and therefore the
+// train split points) is entirely the inner scheduler's.
+func (q *Police) PeekCirc() (uint32, bool) {
+	if p, ok := q.inner.(netem.CircPeeker); ok {
+		return p.PeekCirc()
+	}
+	return 0, false
+}

@@ -82,9 +82,20 @@ type event struct {
 	nxt *event // free-list link
 }
 
-// eventLess orders events by (at, seq) — earliest instant first, FIFO
+// heapSlot is one heap entry: the event's sort key inlined next to its
+// pointer. Keeping (at, seq) in the heap's own backing array means the
+// sift loops compare against contiguous memory instead of dereferencing
+// a scattered *event per comparison — on transfer-heavy runs the heap
+// is the single hottest structure and those misses dominated it.
+type heapSlot struct {
+	at  Time
+	seq uint64
+	ev  *event
+}
+
+// slotLess orders entries by (at, seq) — earliest instant first, FIFO
 // within an instant.
-func eventLess(a, b *event) bool {
+func slotLess(a, b heapSlot) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -96,7 +107,7 @@ func eventLess(a, b *event) bool {
 // which is what makes runs reproducible.
 type Clock struct {
 	now     Time
-	queue   []*event // 4-ary min-heap ordered by (at, seq)
+	queue   []heapSlot // 4-ary min-heap ordered by (at, seq)
 	seq     uint64
 	free    *event // recycled events awaiting reuse
 	running bool
@@ -149,6 +160,18 @@ func (h Handle) Active() bool {
 	return h.ev != nil && h.ev.gen == h.gen && h.ev.idx >= 0
 }
 
+// Reschedule moves the pending event to the absolute instant t, with
+// cancel-and-reschedule ordering semantics (see Clock.reschedule). It
+// reports whether the event was still pending; a fired or cancelled
+// event is left alone.
+func (h Handle) Reschedule(t Time) bool {
+	if !h.Active() {
+		return false
+	}
+	h.ev.clk.reschedule(h.ev, t)
+	return true
+}
+
 // alloc takes an event from the free list, or grows the arena by one.
 func (c *Clock) alloc() *event {
 	ev := c.free
@@ -198,7 +221,7 @@ func (c *Clock) After(d time.Duration, fn func()) Handle {
 // reschedule moves a pending event to the absolute instant t, consuming
 // a fresh sequence number exactly as cancel-and-reschedule would, so
 // FIFO ordering at equal timestamps is indistinguishable from the
-// two-call pattern — without the allocation. Timer is the only caller.
+// two-call pattern — without the allocation.
 func (c *Clock) reschedule(ev *event, t Time) {
 	if t < c.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, c.now))
@@ -211,6 +234,29 @@ func (c *Clock) reschedule(ev *event, t Time) {
 
 // Stop aborts a running Run/RunUntil after the current event returns.
 func (c *Clock) Stop() { c.stopped = true }
+
+// Reset returns the clock to the epoch with an empty queue, recycling
+// every still-pending event through the free list. Outstanding Handles
+// and armed Timers become inert exactly as if each event had been
+// cancelled. The free list itself is retained, which is the point:
+// arena-style trial loops reuse one clock so the event arena built up
+// in trial N serves trial N+1 without reallocating. Resetting a clock
+// that is currently running panics.
+func (c *Clock) Reset() {
+	if c.running {
+		panic("sim: Reset called while running")
+	}
+	for i, slot := range c.queue {
+		slot.ev.idx = -1
+		c.release(slot.ev)
+		c.queue[i] = heapSlot{}
+	}
+	c.queue = c.queue[:0]
+	c.now = 0
+	c.seq = 0
+	c.processed = 0
+	c.stopped = false
+}
 
 // Run executes events until the queue is empty or Stop is called.
 // It returns the time of the last executed event.
@@ -236,12 +282,12 @@ func (c *Clock) RunUntil(horizon Time) Time {
 			return c.now
 		}
 		c.heapPop()
-		fn := next.fn
+		fn := next.ev.fn
 		c.now = next.at
 		c.processed++
 		// Recycle before invoking: fn may schedule new events and is
 		// allowed to reuse this very slot.
-		c.release(next)
+		c.release(next.ev)
 		fn()
 	}
 	if horizon != MaxTime && c.now < horizon {
@@ -258,10 +304,10 @@ func (c *Clock) Step() bool {
 	}
 	next := c.queue[0]
 	c.heapPop()
-	fn := next.fn
+	fn := next.ev.fn
 	c.now = next.at
 	c.processed++
-	c.release(next)
+	c.release(next.ev)
 	fn()
 	return true
 }
@@ -274,20 +320,20 @@ func (c *Clock) Step() bool {
 
 func (c *Clock) heapPush(ev *event) {
 	ev.idx = int32(len(c.queue))
-	c.queue = append(c.queue, ev)
+	c.queue = append(c.queue, heapSlot{at: ev.at, seq: ev.seq, ev: ev})
 	c.heapUp(int(ev.idx))
 }
 
 // heapPop removes the minimum (c.queue[0]).
 func (c *Clock) heapPop() {
 	n := len(c.queue) - 1
-	root := c.queue[0]
+	root := c.queue[0].ev
 	last := c.queue[n]
-	c.queue[n] = nil
+	c.queue[n] = heapSlot{}
 	c.queue = c.queue[:n]
 	if n > 0 {
 		c.queue[0] = last
-		last.idx = 0
+		last.ev.idx = 0
 		c.heapDown(0)
 	}
 	root.idx = -1
@@ -298,42 +344,45 @@ func (c *Clock) heapRemove(ev *event) {
 	i := int(ev.idx)
 	n := len(c.queue) - 1
 	last := c.queue[n]
-	c.queue[n] = nil
+	c.queue[n] = heapSlot{}
 	c.queue = c.queue[:n]
 	if i != n {
 		c.queue[i] = last
-		last.idx = int32(i)
+		last.ev.idx = int32(i)
 		c.heapDown(i)
-		c.heapUp(int(last.idx))
+		c.heapUp(int(last.ev.idx))
 	}
 	ev.idx = -1
 }
 
-// heapFix restores the heap invariant after ev's (at, seq) changed.
+// heapFix restores the heap invariant after ev's (at, seq) changed,
+// refreshing the inlined sort key first.
 func (c *Clock) heapFix(ev *event) {
 	i := int(ev.idx)
+	c.queue[i].at = ev.at
+	c.queue[i].seq = ev.seq
 	c.heapDown(i)
 	c.heapUp(int(ev.idx))
 }
 
 func (c *Clock) heapUp(i int) {
-	ev := c.queue[i]
+	slot := c.queue[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !eventLess(ev, c.queue[p]) {
+		if !slotLess(slot, c.queue[p]) {
 			break
 		}
 		c.queue[i] = c.queue[p]
-		c.queue[i].idx = int32(i)
+		c.queue[i].ev.idx = int32(i)
 		i = p
 	}
-	c.queue[i] = ev
-	ev.idx = int32(i)
+	c.queue[i] = slot
+	slot.ev.idx = int32(i)
 }
 
 func (c *Clock) heapDown(i int) {
 	n := len(c.queue)
-	ev := c.queue[i]
+	slot := c.queue[i]
 	for {
 		first := i<<2 + 1
 		if first >= n {
@@ -345,17 +394,17 @@ func (c *Clock) heapDown(i int) {
 			last = n
 		}
 		for j := first + 1; j < last; j++ {
-			if eventLess(c.queue[j], c.queue[min]) {
+			if slotLess(c.queue[j], c.queue[min]) {
 				min = j
 			}
 		}
-		if !eventLess(c.queue[min], ev) {
+		if !slotLess(c.queue[min], slot) {
 			break
 		}
 		c.queue[i] = c.queue[min]
-		c.queue[i].idx = int32(i)
+		c.queue[i].ev.idx = int32(i)
 		i = min
 	}
-	c.queue[i] = ev
-	ev.idx = int32(i)
+	c.queue[i] = slot
+	slot.ev.idx = int32(i)
 }

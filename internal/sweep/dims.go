@@ -288,6 +288,29 @@ func DimRelayCaps(caps ...resource.Limits) Dimension {
 	return d
 }
 
+// DimTrainSize returns a dimension sweeping the cell-train coalescing
+// cap on every link of the trial. Size ≤ 1 is the byte-identical
+// one-event-per-cell baseline, so a sweep over {1, n} directly measures
+// what batching does to the simulated outcomes (it should be nothing)
+// and to wall-clock runtime (it should be a lot).
+func DimTrainSize(sizes ...int) (Dimension, error) {
+	d := Dimension{Name: "train"}
+	for _, n := range sizes {
+		n := n
+		if n < 0 {
+			return Dimension{}, fmt.Errorf("sweep: negative train size %d", n)
+		}
+		d.Values = append(d.Values, Value{
+			Label: fmt.Sprintf("%d", n),
+			Apply: func(sc *scenario.Scenario) error {
+				sc.TrainSize = n
+				return nil
+			},
+		})
+	}
+	return d, nil
+}
+
 // Seeds returns a dimension re-running every other coordinate under
 // independent base seeds — an explicit-replication axis whose points
 // stay separately addressable in the output (unlike

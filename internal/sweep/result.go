@@ -29,6 +29,10 @@ type ArmPoint struct {
 	UnknownDst, Unroutable uint64
 	// TrunkDrops totals tail drops across the arm's backbone trunks.
 	TrunkDrops uint64
+	// MeanTrainLen is the mean cells-per-train across the arm's backbone
+	// trunks (cells delivered / trains delivered). Exactly 1 when the
+	// trial ran untrained, 0 on a star (no trunk accounting).
+	MeanTrainLen float64
 	// Built, TornDown, Rebuilt and Aborted pool the arm's
 	// circuit-lifecycle counters (zero without churn).
 	Built, TornDown, Rebuilt, Aborted int
@@ -94,8 +98,14 @@ func armPoints(res *scenario.Result) []ArmPoint {
 		if exits.Len() > 0 {
 			ap.ExitTimeMedian = exits.Median()
 		}
+		var cells, trains uint64
 		for _, ts := range a.Net.Trunks {
 			ap.TrunkDrops += ts.Stats.TailDrops
+			cells += ts.Stats.CellsDelivered
+			trains += ts.Stats.TrainsDelivered
+		}
+		if trains > 0 {
+			ap.MeanTrainLen = float64(cells) / float64(trains)
 		}
 		out[i] = ap
 	}

@@ -38,7 +38,7 @@ var metricColumns = []string{
 	"n", "incomplete",
 	"ttlb_mean_s", "ttlb_min_s", "ttlb_p25_s", "ttlb_p50_s", "ttlb_p75_s", "ttlb_p90_s", "ttlb_p99_s", "ttlb_max_s",
 	"exit_cwnd", "exit_time_s", "restarts",
-	"unknown_dst", "unroutable", "trunk_drops",
+	"unknown_dst", "unroutable", "trunk_drops", "mean_train",
 	"built", "torn_down", "rebuilt", "aborted",
 	"jain_ttlb", "adm_rejected", "killed", "sched_drops", "mem_hw_bytes",
 }
@@ -49,7 +49,7 @@ func metricCells(ap *ArmPoint) []any {
 		ap.TTLB.N, ap.Incomplete,
 		ap.TTLB.Mean, ap.TTLB.Min, ap.TTLB.P25, ap.TTLB.Median, ap.TTLB.P75, ap.TTLB.P90, ap.TTLB.P99, ap.TTLB.Max,
 		ap.ExitCwndMean, ap.ExitTimeMedian, ap.Restarts,
-		ap.UnknownDst, ap.Unroutable, ap.TrunkDrops,
+		ap.UnknownDst, ap.Unroutable, ap.TrunkDrops, ap.MeanTrainLen,
 		ap.Built, ap.TornDown, ap.Rebuilt, ap.Aborted,
 		ap.Jain, ap.AdmissionRejected, ap.Killed, ap.SchedDrops, ap.MemHighWater,
 	}
@@ -137,6 +137,7 @@ type JSONLRow struct {
 	UnknownDst uint64            `json:"unknown_dst"`
 	Unroutable uint64            `json:"unroutable"`
 	TrunkDrops uint64            `json:"trunk_drops"`
+	MeanTrain  float64           `json:"mean_train"`
 	Built      int               `json:"built"`
 	TornDown   int               `json:"torn_down"`
 	Rebuilt    int               `json:"rebuilt"`
@@ -197,7 +198,8 @@ func (s *JSONLSink) Point(pr *PointResult) error {
 			TTLBP90: ap.TTLB.P90, TTLBP99: ap.TTLB.P99, TTLBMax: ap.TTLB.Max,
 			ExitCwnd: ap.ExitCwndMean, ExitTime: ap.ExitTimeMedian, Restarts: ap.Restarts,
 			UnknownDst: ap.UnknownDst, Unroutable: ap.Unroutable, TrunkDrops: ap.TrunkDrops,
-			Built: ap.Built, TornDown: ap.TornDown, Rebuilt: ap.Rebuilt, Aborted: ap.Aborted,
+			MeanTrain: ap.MeanTrainLen,
+			Built:     ap.Built, TornDown: ap.TornDown, Rebuilt: ap.Rebuilt, Aborted: ap.Aborted,
 			Jain: ap.Jain, AdmRejects: ap.AdmissionRejected, Killed: ap.Killed,
 			SchedDrops: ap.SchedDrops, MemHW: ap.MemHighWater,
 		}

@@ -37,6 +37,19 @@ type Receiver struct {
 	forwarded    uint64 // highest forwarding count reported to us
 	feedbackSent uint64 // highest count actually signalled upstream
 
+	// Batched delivery (cell trains) processes every data segment in
+	// the train first and flushes one cumulative ACK — and at most one
+	// cumulative FEEDBACK — covering the whole run, instead of one per
+	// cell. Both signals are cumulative counts, so the coalesced pair
+	// carries exactly the information the per-cell segments would have.
+	// deferSignals is set for the duration of a batched handler call so
+	// nested NotifyForwarded calls (the delivery chain forwards the
+	// cell onward synchronously) park their report in fbDue instead of
+	// sending; ackDue/fbDue persist until Flush.
+	deferSignals bool
+	ackDue       bool
+	fbDue        bool
+
 	stats ReceiverStats
 
 	closed bool
@@ -83,13 +96,43 @@ func (r *Receiver) Closed() bool { return r.closed }
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
 
 // HandleData processes an arriving DATA segment: acknowledge, reorder,
-// deliver.
+// deliver. Nested forwarding reports fire per cell, as they always
+// have — this is the byte-identical unbatched path.
 func (r *Receiver) HandleData(seq uint64, c *cell.Cell) {
+	if !r.handleData(seq, c) {
+		return
+	}
+	r.stats.AcksSent++
+	r.send(Segment{Kind: KindAck, Circ: r.circ, Count: r.expected})
+}
+
+// HandleDataBatched is HandleData with all upstream signalling deferred
+// to the train boundary: reorder and deliver now; the ack — and any
+// forwarding report the synchronous delivery chain produces — go out in
+// Flush. It reports whether this call newly put an ack on the books
+// (the first deferral since the last flush), so a batch loop can record
+// the receiver for flushing exactly once.
+func (r *Receiver) HandleDataBatched(seq uint64, c *cell.Cell) bool {
+	r.deferSignals = true
+	ok := r.handleData(seq, c)
+	r.deferSignals = false
+	if !ok {
+		return false
+	}
+	first := !r.ackDue
+	r.ackDue = true
+	return first
+}
+
+// handleData is the shared reorder/deliver body. It reports whether the
+// arrival should be acknowledged (false = receiver closed, possibly by
+// the delivery chain itself mid-call).
+func (r *Receiver) handleData(seq uint64, c *cell.Cell) bool {
 	if c == nil {
 		panic("transport: HandleData with nil cell")
 	}
 	if r.closed {
-		return
+		return false
 	}
 	r.stats.Received++
 	switch {
@@ -114,8 +157,31 @@ func (r *Receiver) HandleData(seq uint64, c *cell.Cell) {
 			r.stats.Buffered++
 		}
 	}
-	r.stats.AcksSent++
-	r.send(Segment{Kind: KindAck, Circ: r.circ, Count: r.expected})
+	return !r.closed
+}
+
+// Flush sends the signals a batched delivery deferred: the cumulative
+// forwarding report first, then the cumulative acknowledgment — the
+// same relative order the per-cell path produces. Delivery may have
+// closed the receiver mid-batch (teardown), in which case the pending
+// signals are dropped with the rest of its state.
+func (r *Receiver) Flush() {
+	if r.closed {
+		return
+	}
+	if r.fbDue {
+		r.fbDue = false
+		if r.forwarded > r.feedbackSent {
+			r.feedbackSent = r.forwarded
+			r.stats.FeedbackSent++
+			r.send(Segment{Kind: KindFeedback, Circ: r.circ, Count: r.forwarded})
+		}
+	}
+	if r.ackDue {
+		r.ackDue = false
+		r.stats.AcksSent++
+		r.send(Segment{Kind: KindAck, Circ: r.circ, Count: r.expected})
+	}
 }
 
 func (r *Receiver) deliverCell(c *cell.Cell) {
@@ -153,6 +219,10 @@ func (r *Receiver) NotifyForwarded(count uint64) {
 		return
 	}
 	r.forwarded = count
+	if r.deferSignals {
+		r.fbDue = true // parked; Flush sends one cumulative report
+		return
+	}
 	if count > r.feedbackSent {
 		r.feedbackSent = count
 		r.stats.FeedbackSent++

@@ -120,6 +120,13 @@ type Config struct {
 	// for retransmission. Relays wire it to the resource manager's
 	// per-circuit memory accounting; Close reports the final release.
 	OnHeld func(delta int)
+	// BatchSignals defers OnFirstTransmit to pump-drain boundaries: one
+	// call with the final cumulative count per burst instead of one per
+	// cell. On a train-running network this collapses a burst's worth
+	// of per-cell FEEDBACK segments into one (the count is cumulative,
+	// so nothing is lost). Off by default — per-cell signalling is the
+	// byte-identical baseline behavior.
+	BatchSignals bool
 }
 
 // SenderStats counts sender activity.
@@ -145,7 +152,13 @@ type Sender struct {
 	cfg   Config
 	clock *sim.Clock
 
-	queue []*cell.Cell // cells awaiting first transmission
+	// queue holds cells awaiting first transmission; qhead indexes the
+	// next cell to leave. Dequeue advances the cursor instead of
+	// shifting the slice (a large transfer front-loads thousands of
+	// cells, and an O(n) shift per transmission made dequeue quadratic);
+	// Enqueue rewinds the cursor whenever the queue drains.
+	queue []*cell.Cell
+	qhead int
 
 	retain   map[uint64]*cell.Cell // sent, not yet acked (for retransmission)
 	sendTime map[uint64]sim.Time   // first-transmission times
@@ -294,17 +307,18 @@ func (s *Sender) Close(release func(*cell.Cell)) {
 	s.probeTimer.Stop()
 	s.exitTimer.Stop()
 	if s.cfg.OnHeld != nil {
-		if held := len(s.queue) + len(s.retain); held > 0 {
+		if held := s.QueueLen() + len(s.retain); held > 0 {
 			s.cfg.OnHeld(-held)
 		}
 	}
-	for i, c := range s.queue {
+	for i := s.qhead; i < len(s.queue); i++ {
 		if release != nil {
-			release(c)
+			release(s.queue[i])
 		}
 		s.queue[i] = nil
 	}
 	s.queue = nil
+	s.qhead = 0
 	s.retain = nil
 	s.sendTime = nil
 	s.rtx = nil
@@ -327,7 +341,7 @@ func (s *Sender) CwndBytes() float64 { return s.cwnd * cell.Size }
 func (s *Sender) Phase() Phase { return s.phase }
 
 // QueueLen returns cells waiting for their first transmission.
-func (s *Sender) QueueLen() int { return len(s.queue) }
+func (s *Sender) QueueLen() int { return len(s.queue) - s.qhead }
 
 // InFlight returns the window occupancy in cells under the configured
 // window clock.
@@ -600,6 +614,10 @@ func (s *Sender) Enqueue(c *cell.Cell) {
 	if s.closed {
 		panic("transport: Enqueue on a closed sender")
 	}
+	if s.qhead == len(s.queue) && s.qhead > 0 {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	}
 	s.queue = append(s.queue, c)
 	if s.cfg.OnHeld != nil {
 		s.cfg.OnHeld(1)
@@ -619,15 +637,21 @@ func (s *Sender) burstMode() bool {
 
 // pump transmits as long as data and window allow.
 func (s *Sender) pump() {
+	first := s.nextSeq
 	defer func() {
+		// Batched signalling: one cumulative first-transmission report
+		// for the whole drain (see Config.BatchSignals).
+		if s.cfg.BatchSignals && s.nextSeq > first && s.cfg.OnFirstTransmit != nil {
+			s.cfg.OnFirstTransmit(s.nextSeq)
+		}
 		// A drain measurement is only valid while the window is the
 		// binding constraint. Running out of data mid-measurement means
 		// the count reflects upstream supply, not successor capacity.
-		if s.exitMeasuring && len(s.queue) == 0 && s.InFlight() < int(math.Floor(s.cwnd)) {
+		if s.exitMeasuring && s.QueueLen() == 0 && s.InFlight() < int(math.Floor(s.cwnd)) {
 			s.exitStarved = true
 		}
 	}()
-	for len(s.queue) > 0 {
+	for s.QueueLen() > 0 {
 		if s.burstMode() {
 			if !s.roundActive {
 				s.beginRound()
@@ -686,10 +710,9 @@ func (s *Sender) endRound() {
 }
 
 func (s *Sender) transmitNext() {
-	c := s.queue[0]
-	copy(s.queue, s.queue[1:])
-	s.queue[len(s.queue)-1] = nil
-	s.queue = s.queue[:len(s.queue)-1]
+	c := s.queue[s.qhead]
+	s.queue[s.qhead] = nil
+	s.qhead++
 
 	seq := s.nextSeq
 	s.nextSeq++
@@ -714,7 +737,7 @@ func (s *Sender) transmitNext() {
 	if !s.rtoTimer.Armed() {
 		s.rtoTimer.Arm(s.rtt.RTO())
 	}
-	if s.cfg.OnFirstTransmit != nil {
+	if s.cfg.OnFirstTransmit != nil && !s.cfg.BatchSignals {
 		s.cfg.OnFirstTransmit(s.nextSeq)
 	}
 }
@@ -963,12 +986,12 @@ func (s *Sender) onRTO() {
 // Idle reports whether the sender has nothing queued and nothing in
 // flight (transfer drained through this hop).
 func (s *Sender) Idle() bool {
-	return len(s.queue) == 0 && s.nextSeq == s.acked && s.nextSeq == s.feedback
+	return s.QueueLen() == 0 && s.nextSeq == s.acked && s.nextSeq == s.feedback
 }
 
 // DebugState renders internal sender state for diagnostics.
 func (s *Sender) DebugState() string {
 	return fmt.Sprintf("phase=%v cwnd=%.1f measuring=%v aligned=%v starved=%v roundActive=%v budget=%d boundary=%d sent=%d acked=%d fb=%d queue=%d inflight=%d exitTimerArmed=%v rtoArmed=%v",
 		s.phase, s.cwnd, s.exitMeasuring, s.exitAligned, s.exitStarved, s.roundActive, s.roundBudget, s.roundBoundary,
-		s.nextSeq, s.acked, s.feedback, len(s.queue), s.InFlight(), s.exitTimer.Armed(), s.rtoTimer.Armed())
+		s.nextSeq, s.acked, s.feedback, s.QueueLen(), s.InFlight(), s.exitTimer.Armed(), s.rtoTimer.Armed())
 }

@@ -107,7 +107,7 @@ func TestBuildOnBackboneRunsToCompletion(t *testing.T) {
 	}
 	var crossed uint64
 	for _, l := range gf.Trunks() {
-		crossed += l.Stats().Delivered
+		crossed += l.Stats().CellsDelivered
 	}
 	if crossed == 0 {
 		t.Error("no traffic crossed any trunk — homes all collapsed?")

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"circuitstart/internal/arena"
 	"circuitstart/internal/core"
 	"circuitstart/internal/directory"
 	"circuitstart/internal/netem"
@@ -179,6 +180,17 @@ type ScenarioParams struct {
 	// (FIFO, no caps). With a circuit cap and a reject-new policy some
 	// builds may be refused: the corresponding Circuits slot is nil.
 	RelayConfig relay.Config
+	// TrainSize caps cell-train coalescing on every link of the trial —
+	// client access, relay access and backbone trunks alike. Values ≤ 1
+	// keep the byte-identical one-event-per-cell pipeline; larger values
+	// batch back-to-back queued cells into single link events (see
+	// netem.LinkConfig.TrainSize).
+	TrainSize int
+	// Arena, when set, draws the trial's clock, cell/segment pools and
+	// circuit slab from this per-worker arena instead of allocating
+	// fresh ones. The caller owns the trial sequencing: the arena's
+	// clock must be reset (arena.ResetTrial) before each Build.
+	Arena *arena.Arena
 }
 
 // DefaultScenario mirrors the paper's aggregate experiment: 50 circuits
@@ -216,16 +228,20 @@ func Build(seed int64, p ScenarioParams) (*Scenario, error) {
 	if p.TransferSize <= 0 {
 		return nil, fmt.Errorf("workload: transfer size %v", p.TransferSize)
 	}
+	if p.TrainSize < 0 {
+		return nil, fmt.Errorf("workload: negative train size %d", p.TrainSize)
+	}
 	if p.ClientAccess.UpRate == 0 {
 		p.ClientAccess = netem.Symmetric(units.Mbps(100), 5*time.Millisecond, p.Relays.QueueCap)
 	}
+	p.ClientAccess.TrainSize = p.TrainSize
 
 	relays, err := GenerateRelays(seed, p.Relays)
 	if err != nil {
 		return nil, err
 	}
 	descs := make([]directory.Descriptor, len(relays))
-	n, err := newNetwork(seed, p.Fabric)
+	n, err := newNetwork(seed, p.Fabric, p.Arena, p.TrainSize)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +250,7 @@ func Build(seed int64, p ScenarioParams) (*Scenario, error) {
 	}
 	for i, r := range relays {
 		descs[i] = r.Desc
+		r.Access.TrainSize = p.TrainSize
 		if _, err := n.AddRelay(r.Desc.ID, r.Access); err != nil {
 			return nil, err
 		}
@@ -279,18 +296,29 @@ func Build(seed int64, p ScenarioParams) (*Scenario, error) {
 
 // newNetwork builds a trial network on the star (fabric == nil) or on a
 // fresh fabric from the spec. The spec is validated here so a malformed
-// backbone surfaces as an error, not a panic inside a worker.
-func newNetwork(seed int64, fabric *netem.GraphSpec) (*core.Network, error) {
-	if fabric == nil {
-		return core.NewNetwork(seed), nil
+// backbone surfaces as an error, not a panic inside a worker. trainSize
+// is stamped onto a deep copy of the spec's trunks (the original is
+// shared across parallel workers and must never be mutated).
+func newNetwork(seed int64, fabric *netem.GraphSpec, ar *arena.Arena, trainSize int) (*core.Network, error) {
+	build := func(clock *sim.Clock, _ *sim.RNG) netem.Fabric {
+		return netem.NewStarFabric(clock)
 	}
-	if err := fabric.Validate(); err != nil {
-		return nil, err
+	if fabric != nil {
+		if err := fabric.Validate(); err != nil {
+			return nil, err
+		}
+		spec := fabric.Clone()
+		for i := range spec.Trunks {
+			spec.Trunks[i].Config.TrainSize = trainSize
+		}
+		build = func(clock *sim.Clock, rng *sim.RNG) netem.Fabric {
+			return spec.Build(clock, rng)
+		}
 	}
-	spec := *fabric
-	return core.NewNetworkWithFabric(seed, func(clock *sim.Clock, rng *sim.RNG) netem.Fabric {
-		return spec.Build(clock, rng)
-	}), nil
+	if ar != nil {
+		return core.NewNetworkInArena(ar, seed, build), nil
+	}
+	return core.NewNetworkWithFabric(seed, build), nil
 }
 
 // Result is one circuit's outcome.
