@@ -112,11 +112,30 @@
 // point queries on this engine ('circuitsim sweep' runs grids from the
 // command line; examples/sweep sweeps a gamma × bandwidth × hops
 // surface no fixed ablation can express).
+//
+// # Fault injection and recovery
+//
+// A FaultPlan on a Scenario declares adverse conditions as data:
+// Gilbert–Elliott burst loss and delay jitter on relay access links,
+// link flaps, backbone trunk partitions, and relay degradation (hang
+// or slowdown). Every fault source draws from its own named RNG
+// stream, so an empty plan leaves seeded outputs byte-identical and a
+// faulted run stays deterministic for any worker count. FaultRecovery
+// arms endpoint stall detection: a download with no progress for
+// StallRTOs retransmission timeouts tears down its circuit and
+// rebuilds on a path excluding the suspect relay, under capped
+// exponential backoff and a retry budget. Results surface per-arm
+// ResilienceStats — stalls, recoveries, the time-to-recovery
+// distribution, availability and goodput-under-fault — and
+// AblationFaults compares startup policies under an identical fault
+// schedule ('circuitsim ablation -name faults' and examples/faults;
+// 'circuitsim scenario/sweep -faults' applies presets or JSON specs).
 package circuitstart
 
 import (
 	"circuitstart/internal/core"
 	"circuitstart/internal/experiments"
+	"circuitstart/internal/faults"
 	"circuitstart/internal/metrics"
 	"circuitstart/internal/model"
 	"circuitstart/internal/netem"
@@ -195,6 +214,9 @@ type (
 	ChurnParams = experiments.ChurnParams
 	// OverloadParams configures the relay-overload ablation.
 	OverloadParams = experiments.OverloadParams
+	// FaultsParams configures the resilience ablation (CircuitStart vs
+	// slow start under burst loss, a relay hang and a trunk flap).
+	FaultsParams = experiments.FaultsParams
 )
 
 // Relay resource management and scheduling. See the package comment's
@@ -255,6 +277,18 @@ type (
 	RelayEvent = scenario.RelayEvent
 	// ChurnStats aggregates an arm's circuit-lifecycle activity.
 	ChurnStats = scenario.ChurnStats
+	// FaultPlan declares a scenario's fault schedule as data: burst
+	// loss, jitter, link flaps, trunk partitions, relay degradation,
+	// and the endpoint recovery policy. The zero value injects nothing
+	// and keeps seeded outputs byte-identical.
+	FaultPlan = faults.Plan
+	// FaultRecovery configures endpoint stall detection and circuit
+	// rebuild (retry budget, backoff bounds).
+	FaultRecovery = faults.Recovery
+	// ResilienceStats aggregates an arm's fault-recovery activity:
+	// stalls, recoveries, the time-to-recovery distribution, retries,
+	// abandons, availability and goodput-under-fault.
+	ResilienceStats = scenario.ResilienceStats
 	// NetStats aggregates fabric drop counters and trunk stats per arm.
 	NetStats = scenario.NetStats
 	// TrunkStat is one trunk link's pooled counters.
@@ -427,6 +461,19 @@ var (
 	AblationOverload = experiments.AblationOverload
 	// DefaultOverloadParams mirrors the overload ablation's setup.
 	DefaultOverloadParams = experiments.DefaultOverloadParams
+	// AblationFaults runs the resilience comparison: CircuitStart vs
+	// slow start under an identical fault schedule with endpoint stall
+	// detection and circuit rebuild on both arms.
+	AblationFaults = experiments.AblationFaults
+	// DefaultFaultsParams mirrors the faults ablation's setup.
+	DefaultFaultsParams = experiments.DefaultFaultsParams
+	// FaultPreset renders a named fault preset ("burstloss", "flaky",
+	// "hang", ...) against a concrete relay list.
+	FaultPreset = faults.Preset
+	// FaultPresetNames lists the built-in fault preset names.
+	FaultPresetNames = faults.PresetNames
+	// ParseFaultSpec parses a JSON fault-plan specification.
+	ParseFaultSpec = faults.ParseSpec
 	// KillPolicyByName maps configuration names ("reject-new",
 	// "kill-oldest", "kill-heaviest") to kill policies.
 	KillPolicyByName = resource.PolicyByName

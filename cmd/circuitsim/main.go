@@ -21,7 +21,9 @@ import (
 
 	"circuitstart/internal/core"
 	"circuitstart/internal/experiments"
+	"circuitstart/internal/faults"
 	"circuitstart/internal/metrics"
+	"circuitstart/internal/netem"
 	"circuitstart/internal/resource"
 	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
@@ -192,15 +194,15 @@ func runFig1CDF(args []string) error {
 // (the usage text and README derive from this list).
 var ablationNames = []string{
 	"gamma", "compensation", "clock", "position", "concurrency",
-	"extensions", "vegas", "shared", "churn", "overload",
+	"extensions", "vegas", "shared", "churn", "overload", "faults",
 }
 
 func runAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
 	name := fs.String("name", "gamma", strings.Join(ablationNames, " | "))
 	seed := fs.Int64("seed", 42, "experiment seed")
-	circuits := fs.Int("circuits", 8, "circuits sharing the trunk (shared only)")
-	trunk := fs.Float64("trunk", 16, "shared trunk rate [Mbit/s] (shared only)")
+	circuits := fs.Int("circuits", 8, "circuits sharing the trunk (shared, faults)")
+	trunk := fs.Float64("trunk", 16, "shared trunk rate [Mbit/s] (shared, overload, faults)")
 	arrivals := fs.Int("arrivals", 40, "churn downloads arriving mid-run (churn only)")
 	rate := fs.Float64("rate", 8, "churn arrival rate per second (churn only)")
 	failures := fs.Int("failures", 2, "high-bandwidth relays failing mid-run (churn only)")
@@ -208,7 +210,7 @@ func runAblation(args []string) error {
 	maxCircuits := fs.Int("max-circuits", 6, "per-relay circuit cap (overload only)")
 	maxMemory := fs.Int64("max-memory", 128_000, "per-relay held-cell memory cap [bytes] (overload only)")
 	killPolicy := fs.String("kill", "kill-heaviest", "cap policy: reject-new | kill-oldest | kill-heaviest (overload only)")
-	train := fs.Int("train", 0, "cell-train coalescing cap per link, <=1 = one event per cell (churn, overload)")
+	train := fs.Int("train", 0, "cell-train coalescing cap per link, <=1 = one event per cell (churn, overload, faults)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -316,6 +318,19 @@ func runAblation(args []string) error {
 		fmt.Printf("ablation overload: %d interactive (%s) + %d bulk (%s) circuits on %d relay pairs behind a %s trunk, caps %s\n",
 			p.CircuitPairs, p.Interactive, p.CircuitPairs, p.Bulk, p.RelayPairs, p.TrunkRate, p.Limits.Label())
 		return res.WriteText(os.Stdout)
+	case "faults":
+		p := experiments.DefaultFaultsParams()
+		p.Seed = *seed
+		p.Circuits = *circuits
+		p.TrunkRate = units.Mbps(*trunk)
+		p.TrainSize = *train
+		res, err := experiments.AblationFaults(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ablation faults: %d downloads (%s each) on %d relay pairs behind a %s trunk; burst loss, relay hang and trunk flap with endpoint recovery\n",
+			p.Circuits, p.TransferSize, p.RelayPairs, p.TrunkRate)
+		return res.WriteText(os.Stdout)
 	default:
 		return fmt.Errorf("unknown ablation %q", *name)
 	}
@@ -383,6 +398,7 @@ func runScenario(args []string) error {
 	download := fs.Bool("download", false, "run transfers in the download (server → client) direction")
 	horizon := fs.Duration("horizon", 600*time.Second, "per-trial virtual time bound")
 	train := fs.Int("train", 0, "cell-train coalescing cap per link (≤1 = one event per cell)")
+	faultArg := fs.String("faults", "", "fault plan: a preset name ("+strings.Join(faults.PresetNames(), ", ")+") or a JSON spec file")
 	csvPath := fs.String("csv", "", "write every arm's TTLB CDF as CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -422,6 +438,13 @@ func runScenario(args []string) error {
 		Replications: *reps,
 		TrainSize:    *train,
 	}
+	if *faultArg != "" {
+		plan, err := resolveFaults(*faultArg, sc.RelayIDs())
+		if err != nil {
+			return err
+		}
+		sc.Faults = plan
+	}
 	res, err := scenario.Runner{Workers: *workers}.Run(sc)
 	if err != nil {
 		return err
@@ -448,6 +471,22 @@ func runScenario(args []string) error {
 		})
 	}
 	return nil
+}
+
+// resolveFaults renders a -faults argument into a Plan: a preset name
+// (rendered against the scenario's relay set) or a path to a JSON fault
+// spec file. Preset names win, so a stray file named "burstloss" in the
+// working directory cannot shadow the preset silently.
+func resolveFaults(arg string, relays []netem.NodeID) (faults.Plan, error) {
+	if plan, err := faults.Preset(arg, relays); err == nil {
+		return plan, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return faults.Plan{}, fmt.Errorf("-faults %q is neither a preset (%s) nor a readable spec file: %w",
+			arg, strings.Join(faults.PresetNames(), ", "), err)
+	}
+	return faults.ParseSpec(data)
 }
 
 func writeCSV(path string, write func(*os.File) error) error {

@@ -119,14 +119,15 @@ func TestUsageMatchesCommandTable(t *testing.T) {
 // unknown-name error). Names whose full runs other tests in this file
 // already exercise — compensation/clock/position (TestRunAblation),
 // shared (TestRunAblationShared), churn (TestRunAblationChurn),
-// overload (TestRunAblationOverload) — and the minutes-long concurrency
+// overload (TestRunAblationOverload), faults (TestRunAblationFaults) —
+// and the minutes-long concurrency
 // sweep are skipped; the remaining trace-topology sweeps are cheap
 // enough to run outright.
 func TestAblationNamesDispatch(t *testing.T) {
 	covered := map[string]bool{
 		"compensation": true, "clock": true, "position": true,
 		"shared": true, "churn": true, "concurrency": true,
-		"overload": true,
+		"overload": true, "faults": true,
 	}
 	for _, name := range ablationNames {
 		if covered[name] {

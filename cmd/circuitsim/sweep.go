@@ -13,6 +13,7 @@ import (
 
 	"circuitstart/internal/core"
 	"circuitstart/internal/experiments"
+	"circuitstart/internal/faults"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/scenario"
 	"circuitstart/internal/sim"
@@ -48,6 +49,7 @@ func runSweep(args []string) error {
 	sizes := fs.String("sizes", "", "dimension: transfer sizes [bytes] (comma-separated)")
 	counts := fs.String("counts", "", "dimension: concurrent circuit counts (comma-separated)")
 	trains := fs.String("trains", "", "dimension: cell-train coalescing caps (comma-separated; ≤1 = untrained)")
+	faultNames := fs.String("faults", "", "dimension: fault presets (comma-separated; "+strings.Join(faults.PresetNames(), ", ")+")")
 	sample := fs.Int("sample", 0, "cap the grid to a seeded sample of this many points (0 = full)")
 	resume := fs.Int("resume", 0, "skip grid points with index below this (append to a prior -out)")
 	workers := fs.Int("workers", 0, "concurrent grid points (0 = one per CPU)")
@@ -84,6 +86,7 @@ func runSweep(args []string) error {
 			{"size", *sizes},
 			{"count", *counts},
 			{"train", *trains},
+			{"faults", *faultNames},
 		} {
 			if d.raw != "" {
 				cfg.dims = append(cfg.dims, dimRequest{kind: d.kind, raw: splitList(d.raw)})
@@ -230,7 +233,7 @@ func (c sweepConfig) build() (sweep.Sweep, error) {
 		sw.Dimensions = append(sw.Dimensions, dim)
 	}
 	if len(sw.Dimensions) == 0 {
-		return sweep.Sweep{}, fmt.Errorf("sweep: no dimensions (pass at least one of -gammas, -policies, -bandwidths, -hopcounts, -sizes, -counts, or a -spec file)")
+		return sweep.Sweep{}, fmt.Errorf("sweep: no dimensions (pass at least one of -gammas, -policies, -bandwidths, -hopcounts, -sizes, -counts, -trains, -faults, or a -spec file)")
 	}
 	return sw, nil
 }
@@ -293,6 +296,8 @@ func (c sweepConfig) buildDim(d dimRequest, traceParams experiments.CwndTracePar
 			return sweep.Dimension{}, fmt.Errorf("sweep: -trains: %w", err)
 		}
 		return sweep.DimTrainSize(ns...)
+	case "faults":
+		return sweep.DimFaults(d.raw...)
 	default:
 		return sweep.Dimension{}, fmt.Errorf("sweep: unknown axis %q", d.kind)
 	}
@@ -404,6 +409,7 @@ type sweepSpecDim struct {
 	SizesBytes     []int64   `json:"sizes_bytes,omitempty"`
 	Counts         []int     `json:"counts,omitempty"`
 	Trains         []int     `json:"trains,omitempty"`
+	Faults         []string  `json:"faults,omitempty"`
 }
 
 // parseSweepSpec renders a JSON grid file into a Sweep.
@@ -498,6 +504,9 @@ func specDimRequest(d sweepSpecDim) (dimRequest, error) {
 	}
 	if len(d.Trains) > 0 {
 		out = append(out, dimRequest{kind: "train", raw: intsToRaw(d.Trains)})
+	}
+	if len(d.Faults) > 0 {
+		out = append(out, dimRequest{kind: "faults", raw: d.Faults})
 	}
 	if len(out) != 1 {
 		return dimRequest{}, fmt.Errorf("needs exactly one axis list, has %d", len(out))

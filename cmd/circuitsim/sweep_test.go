@@ -173,6 +173,68 @@ func TestRunSweepSampled(t *testing.T) {
 	}
 }
 
+func TestRunSweepFaultsDimension(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "grid.csv")
+	args := []string{"-base", "population", "-relays", "10", "-circuits", "3", "-size", "100000",
+		"-faults", "none,hang", "-out", out}
+	if err := runSweep(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+2 {
+		t.Fatalf("faults sweep wrote %d lines, want 3:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "point,faults,arm,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",none,") || !strings.Contains(lines[2], ",hang,") {
+		t.Fatalf("preset labels missing from rows:\n%s", data)
+	}
+}
+
+func TestRunSweepSpecFaultsDimension(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "grid.json")
+	specJSON := `{
+		"base": {"kind": "population", "relays": 10, "circuits": 3, "size_bytes": 100000},
+		"dimensions": [{"faults": ["none", "recovery"]}]
+	}`
+	if err := os.WriteFile(spec, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "grid.csv")
+	if err := runSweep([]string{"-spec", spec, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != 1+2 {
+		t.Fatalf("spec faults sweep wrote %d lines, want 3:\n%s", len(lines), data)
+	}
+}
+
+// TestRunSweepGridPointFailsCleanly pins the scripted-sweep error
+// contract: a grid point whose parameters fail validation (here a zero
+// bottleneck bandwidth) must surface as an error naming the point, not
+// as a panic inside a worker — and the sweep must not write a partial
+// row for it.
+func TestRunSweepGridPointFailsCleanly(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "grid.csv")
+	err := runSweep([]string{"-bandwidths", "8,0", "-out", out})
+	if err == nil {
+		t.Fatal("zero-bandwidth grid point accepted")
+	}
+	if !strings.Contains(err.Error(), "point") {
+		t.Fatalf("error %q does not name the failing grid point", err)
+	}
+}
+
 func TestRunSweepBadFlags(t *testing.T) {
 	cases := [][]string{
 		{},                                      // no dimensions
@@ -184,6 +246,7 @@ func TestRunSweepBadFlags(t *testing.T) {
 		{"-gammas", "2", "-arms", ""},           // no arms
 		{"-hopcounts", "2,4", "-counts", "x"},   // bad count list
 		{"-base", "population", "-counts", "0"}, // invalid point (0 circuits)
+		{"-faults", "meteor"},                   // unknown fault preset
 	}
 	for i, args := range cases {
 		if err := runSweep(args); err == nil {

@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"circuitstart/internal/netem"
+	"circuitstart/internal/sim"
+)
+
+// planSpec is the JSON wire form of a Plan. Times are float seconds and
+// milliseconds so spec files read like the paper's prose ("a 30 s trunk
+// partition", "±5 ms jitter") rather than nanosecond integers.
+type planSpec struct {
+	BurstLoss []struct {
+		Relay    string  `json:"relay"`
+		FromS    float64 `json:"from_s"`
+		UntilS   float64 `json:"until_s"`
+		PGoodBad float64 `json:"p_good_bad"`
+		PBadGood float64 `json:"p_bad_good"`
+		LossGood float64 `json:"loss_good"`
+		LossBad  float64 `json:"loss_bad"`
+	} `json:"burst_loss,omitempty"`
+	Jitter []struct {
+		Relay       string  `json:"relay"`
+		FromS       float64 `json:"from_s"`
+		UntilS      float64 `json:"until_s"`
+		AmplitudeMS float64 `json:"amplitude_ms"`
+		SpikeProb   float64 `json:"spike_prob"`
+		SpikeMS     float64 `json:"spike_ms"`
+	} `json:"jitter,omitempty"`
+	Flaps []struct {
+		Relay    string  `json:"relay"`
+		DownAtS  float64 `json:"down_at_s"`
+		UpAfterS float64 `json:"up_after_s"`
+		Repeat   int     `json:"repeat"`
+		EveryS   float64 `json:"every_s"`
+	} `json:"flaps,omitempty"`
+	Partitions []struct {
+		TrunkA     string  `json:"trunk_a"`
+		TrunkB     string  `json:"trunk_b"`
+		AtS        float64 `json:"at_s"`
+		HealAfterS float64 `json:"heal_after_s"`
+	} `json:"partitions,omitempty"`
+	Degrades []struct {
+		Relay         string  `json:"relay"`
+		Mode          string  `json:"mode"`
+		AtS           float64 `json:"at_s"`
+		RecoverAfterS float64 `json:"recover_after_s"`
+		RateFactor    float64 `json:"rate_factor"`
+	} `json:"degrades,omitempty"`
+	Recovery *struct {
+		Enabled    bool    `json:"enabled"`
+		StallRTOs  int     `json:"stall_rtos"`
+		MaxRetries int     `json:"max_retries"`
+		RTOMinMS   float64 `json:"rto_min_ms"`
+		RTOMaxMS   float64 `json:"rto_max_ms"`
+	} `json:"recovery,omitempty"`
+}
+
+func seconds(s float64) sim.Time       { return sim.Time(s * float64(time.Second)) }
+func secondsD(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+func millis(ms float64) time.Duration  { return time.Duration(ms * float64(time.Millisecond)) }
+
+// ParseSpec decodes a JSON fault plan. Unknown fields are rejected so a
+// typo fails the run instead of silently injecting nothing. The returned
+// plan still needs Validate against the target topology.
+func ParseSpec(data []byte) (Plan, error) {
+	var spec planSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Plan{}, fmt.Errorf("faults: parsing spec: %w", err)
+	}
+	var p Plan
+	for _, b := range spec.BurstLoss {
+		p.BurstLoss = append(p.BurstLoss, BurstLoss{
+			Relay: netem.NodeID(b.Relay),
+			From:  seconds(b.FromS), Until: seconds(b.UntilS),
+			PGoodBad: b.PGoodBad, PBadGood: b.PBadGood,
+			LossGood: b.LossGood, LossBad: b.LossBad,
+		})
+	}
+	for _, j := range spec.Jitter {
+		p.Jitter = append(p.Jitter, Jitter{
+			Relay: netem.NodeID(j.Relay),
+			From:  seconds(j.FromS), Until: seconds(j.UntilS),
+			Amplitude: millis(j.AmplitudeMS),
+			SpikeProb: j.SpikeProb, SpikeDelay: millis(j.SpikeMS),
+		})
+	}
+	for _, f := range spec.Flaps {
+		p.Flaps = append(p.Flaps, Flap{
+			Relay:  netem.NodeID(f.Relay),
+			DownAt: seconds(f.DownAtS), UpAfter: secondsD(f.UpAfterS),
+			Repeat: f.Repeat, Every: secondsD(f.EveryS),
+		})
+	}
+	for _, pt := range spec.Partitions {
+		p.Partitions = append(p.Partitions, Partition{
+			TrunkA: netem.SwitchID(pt.TrunkA), TrunkB: netem.SwitchID(pt.TrunkB),
+			At: seconds(pt.AtS), HealAfter: secondsD(pt.HealAfterS),
+		})
+	}
+	for _, d := range spec.Degrades {
+		var mode DegradeMode
+		switch d.Mode {
+		case "hang":
+			mode = DegradeHang
+		case "slow":
+			mode = DegradeSlow
+		default:
+			return Plan{}, fmt.Errorf("faults: degrade mode %q (want \"hang\" or \"slow\")", d.Mode)
+		}
+		p.Degrades = append(p.Degrades, Degrade{
+			Relay: netem.NodeID(d.Relay), Mode: mode,
+			At: seconds(d.AtS), RecoverAfter: secondsD(d.RecoverAfterS),
+			RateFactor: d.RateFactor,
+		})
+	}
+	if r := spec.Recovery; r != nil {
+		p.Recovery = Recovery{
+			Enabled: r.Enabled, StallRTOs: r.StallRTOs, MaxRetries: r.MaxRetries,
+			RTOMin: millis(r.RTOMinMS), RTOMax: millis(r.RTOMaxMS),
+		}
+	}
+	return p, nil
+}
+
+// presets maps names to plan constructors parameterized by the target
+// topology's relay IDs (in the topology's own order). Presets only touch
+// relays — never trunks — so they apply to any topology; partition
+// faults need an explicit spec file naming the trunk.
+var presets = map[string]func(relays []netem.NodeID) Plan{
+	// none: the empty plan — the control arm of a faults sweep axis.
+	"none": func([]netem.NodeID) Plan { return Plan{} },
+	// recovery: no injected faults, recovery armed. Distinguishes the
+	// cost of the watchdog from the cost of the faults it answers.
+	"recovery": func([]netem.NodeID) Plan {
+		return Plan{Recovery: Recovery{Enabled: true}}
+	},
+	// burstloss: Gilbert–Elliott burst loss on the first three relays
+	// from t=2s, ~4% mean loss in bursts (bad-state dwell ~10 frames).
+	"burstloss": func(relays []netem.NodeID) Plan {
+		var p Plan
+		for _, id := range firstN(relays, 3) {
+			p.BurstLoss = append(p.BurstLoss, BurstLoss{
+				Relay: id, From: seconds(2),
+				PGoodBad: 0.005, PBadGood: 0.1, LossGood: 0, LossBad: 0.8,
+			})
+		}
+		p.Recovery = Recovery{Enabled: true}
+		return p
+	},
+	// flaky: the first relay flaps (3 s down every 20 s), the second
+	// jitters ±5 ms with occasional 50 ms spikes.
+	"flaky": func(relays []netem.NodeID) Plan {
+		var p Plan
+		ids := firstN(relays, 2)
+		if len(ids) > 0 {
+			p.Flaps = append(p.Flaps, Flap{
+				Relay: ids[0], DownAt: seconds(5),
+				UpAfter: 3 * time.Second, Repeat: 2, Every: 20 * time.Second,
+			})
+		}
+		if len(ids) > 1 {
+			p.Jitter = append(p.Jitter, Jitter{
+				Relay: ids[1], From: seconds(2),
+				Amplitude: 5 * time.Millisecond,
+				SpikeProb: 0.02, SpikeDelay: 50 * time.Millisecond,
+			})
+		}
+		p.Recovery = Recovery{Enabled: true}
+		return p
+	},
+	// hang: the first relay silently blackholes from t=5s for 15 s —
+	// the failure mode only endpoint stall detection can see.
+	"hang": func(relays []netem.NodeID) Plan {
+		var p Plan
+		for _, id := range firstN(relays, 1) {
+			p.Degrades = append(p.Degrades, Degrade{
+				Relay: id, Mode: DegradeHang,
+				At: seconds(5), RecoverAfter: 15 * time.Second,
+			})
+		}
+		p.Recovery = Recovery{Enabled: true}
+		return p
+	},
+	// slow: the first relay limps at a tenth of its access rate from
+	// t=5s for 20 s.
+	"slow": func(relays []netem.NodeID) Plan {
+		var p Plan
+		for _, id := range firstN(relays, 1) {
+			p.Degrades = append(p.Degrades, Degrade{
+				Relay: id, Mode: DegradeSlow,
+				At: seconds(5), RecoverAfter: 20 * time.Second, RateFactor: 0.1,
+			})
+		}
+		p.Recovery = Recovery{Enabled: true}
+		return p
+	},
+}
+
+func firstN(ids []netem.NodeID, n int) []netem.NodeID {
+	if len(ids) < n {
+		n = len(ids)
+	}
+	return ids[:n]
+}
+
+// Preset renders a named fault preset against a topology's relay list.
+// The returned plan still needs Validate (which also fills recovery
+// defaults).
+func Preset(name string, relays []netem.NodeID) (Plan, error) {
+	fn, ok := presets[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("faults: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return fn(relays), nil
+}
+
+// PresetNames returns the available preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"time"
 
 	"circuitstart/internal/sim"
@@ -26,6 +27,29 @@ type AccessConfig struct {
 	// TrainSize enables cell trains on both access links (see
 	// LinkConfig.TrainSize). <= 1 keeps the per-frame machinery.
 	TrainSize int
+}
+
+// Validate checks the access configuration against the same rules
+// NewLink enforces by panic, so scenario validation can reject a bad
+// grid point cleanly before any fabric is built. The RNG requirement is
+// not checked here: fabrics supply the loss stream at Attach time.
+func (c AccessConfig) Validate() error {
+	if c.UpRate <= 0 {
+		return fmt.Errorf("netem: non-positive up rate %v", c.UpRate)
+	}
+	if c.DownRate <= 0 {
+		return fmt.Errorf("netem: non-positive down rate %v", c.DownRate)
+	}
+	if c.Delay < 0 {
+		return fmt.Errorf("netem: negative delay %v", c.Delay)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("netem: loss probability %v outside [0,1]", c.LossProb)
+	}
+	if c.TrainSize < 0 {
+		return fmt.Errorf("netem: negative train size %d", c.TrainSize)
+	}
+	return nil
 }
 
 // Symmetric returns an AccessConfig with equal up/down rate.

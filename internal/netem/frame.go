@@ -120,6 +120,25 @@ func (p *FramePool) Reset() {
 	}
 }
 
+// AllLen returns how many frames the pool's store ever allocated.
+// Together with FreeLen it lets leak tests assert pool balance: after a
+// trial fully drains (or after Reset), every allocated frame must be
+// back on the free list.
+func (p *FramePool) AllLen() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.s.all)
+}
+
+// FreeLen returns how many frames are currently on the free list.
+func (p *FramePool) FreeLen() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.s.free)
+}
+
 // Get returns a frame for the caller to fill. Every exported field must
 // be set by the caller; recycled frames carry no payload.
 func (p *FramePool) Get() *Frame {

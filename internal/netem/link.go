@@ -38,6 +38,29 @@ type LinkConfig struct {
 	TrainSize int
 }
 
+// Validate checks the configuration. NewLink panics on exactly these
+// errors; layers that assemble configs from user input (scenario specs,
+// sweep grids) call Validate first so a bad grid point fails cleanly
+// instead of crashing a worker.
+func (c LinkConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("netem: non-positive rate %v", c.Rate)
+	}
+	if c.Delay < 0 {
+		return fmt.Errorf("netem: negative delay %v", c.Delay)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("netem: loss probability %v outside [0,1]", c.LossProb)
+	}
+	if c.LossProb > 0 && c.RNG == nil {
+		return fmt.Errorf("netem: loss probability %v but no RNG", c.LossProb)
+	}
+	if c.TrainSize < 0 {
+		return fmt.Errorf("netem: negative train size %d", c.TrainSize)
+	}
+	return nil
+}
+
 // LinkStats counts what happened on a link. All counters are cumulative
 // since construction or the last ResetStats.
 //
@@ -53,6 +76,7 @@ type LinkStats struct {
 	TrainStretched  uint64         // frames that joined a train mid-serialization
 	TailDrops       uint64         // frames dropped because the queue was full
 	RandomLoss      uint64         // frames dropped by the loss process
+	DownDrops       uint64         // frames dropped because the link was down
 	SchedDrops      uint64         // frames refused by the installed scheduler
 	BytesOut        units.DataSize // payload bytes delivered
 	QueueDelay      time.Duration  // total time frames spent queued (excl. serialization)
@@ -80,6 +104,7 @@ func (s *LinkStats) Merge(o LinkStats) {
 	s.TrainStretched += o.TrainStretched
 	s.TailDrops += o.TailDrops
 	s.RandomLoss += o.RandomLoss
+	s.DownDrops += o.DownDrops
 	s.SchedDrops += o.SchedDrops
 	s.BytesOut += o.BytesOut
 	s.QueueDelay += o.QueueDelay
@@ -141,6 +166,18 @@ type Link struct {
 	txDoneFn  func() // onTxDone / onTxDoneTrain bound once
 	deliverFn func() // onDeliver / onDeliverTrain bound once
 
+	// Fault-injection state (see internal/faults). down drops every frame
+	// completing serialization (flapping links, trunk partitions);
+	// lossModel adds a stateful loss process on top of cfg.LossProb;
+	// jitter perturbs propagation delay per delivery, with delivery
+	// instants clamped monotone (lastDeliverAt) so the in-flight FIFO
+	// stays ordered. All three are nil/false in fault-free runs, leaving
+	// the hot path and the RNG draw order byte-identical.
+	down          bool
+	lossModel     LossModel
+	jitter        JitterModel
+	lastDeliverAt sim.Time
+
 	// pool, when non-nil, receives dead frames (dropped, lost, or — on
 	// terminal links — delivered). terminal marks the last link before a
 	// node handler: only there does Deliver end a frame's life; on
@@ -164,6 +201,7 @@ const (
 	DropTail  DropReason = iota // egress queue full
 	DropLoss                    // random loss process
 	DropSched                   // refused by the installed scheduler (policer)
+	DropDown                    // link administratively down (flap / partition)
 )
 
 func (r DropReason) String() string {
@@ -174,6 +212,8 @@ func (r DropReason) String() string {
 		return "random-loss"
 	case DropSched:
 		return "sched-drop"
+	case DropDown:
+		return "down-drop"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -181,23 +221,11 @@ func (r DropReason) String() string {
 
 // NewLink creates a link feeding dst. Name appears in panics and traces.
 func NewLink(name string, clock *sim.Clock, cfg LinkConfig, dst Handler) *Link {
-	if cfg.Rate <= 0 {
-		panic(fmt.Sprintf("netem: link %q with non-positive rate %v", name, cfg.Rate))
-	}
-	if cfg.Delay < 0 {
-		panic(fmt.Sprintf("netem: link %q with negative delay %v", name, cfg.Delay))
-	}
-	if cfg.LossProb < 0 || cfg.LossProb > 1 {
-		panic(fmt.Sprintf("netem: link %q with loss probability %v outside [0,1]", name, cfg.LossProb))
-	}
-	if cfg.LossProb > 0 && cfg.RNG == nil {
-		panic(fmt.Sprintf("netem: link %q has loss but no RNG", name))
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("link %q: %v", name, err))
 	}
 	if dst == nil {
 		panic(fmt.Sprintf("netem: link %q with nil destination", name))
-	}
-	if cfg.TrainSize < 0 {
-		panic(fmt.Sprintf("netem: link %q with negative train size %d", name, cfg.TrainSize))
 	}
 	l := &Link{name: name, clock: clock, cfg: cfg, dst: dst}
 	if cfg.TrainSize > 1 {
@@ -234,6 +262,25 @@ func (l *Link) SetRate(r units.DataRate) {
 	}
 	l.cfg.Rate = r
 }
+
+// SetDown takes the link down (true) or brings it back up (false). A
+// down link still accepts and serializes frames — the node does not know
+// its link died — but every frame completing serialization is dropped
+// with DropDown instead of propagating. Fault plans flap access links
+// and partition trunks through this switch.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// SetLossModel installs (or, with nil, removes) a stateful loss process
+// consulted once per serialized frame in addition to cfg.LossProb. The
+// model must draw from its own RNG stream (see LossModel).
+func (l *Link) SetLossModel(m LossModel) { l.lossModel = m }
+
+// SetJitter installs (or, with nil, removes) a propagation-jitter model
+// consulted once per scheduled delivery.
+func (l *Link) SetJitter(m JitterModel) { l.jitter = m }
 
 // SetScheduler installs a data-frame scheduler, replacing the built-in
 // FIFO ring for non-priority frames (priority frames keep strict
@@ -347,20 +394,66 @@ func (l *Link) transmitNext() {
 	l.clock.After(l.cfg.Rate.TransmissionTime(f.Size), l.txDoneFn)
 }
 
+// lossDraws consults the built-in Bernoulli process and the installed
+// loss model for one serialized frame. Both draw unconditionally — each
+// stream's consumption depends only on the frame sequence, never on the
+// other process's outcome or the link's down state — so enabling one
+// fault source cannot perturb another's draw order.
+func (l *Link) lossDraws() bool {
+	lost := l.cfg.LossProb > 0 && l.cfg.RNG.Bernoulli(l.cfg.LossProb)
+	if l.lossModel != nil && l.lossModel.Drop() {
+		lost = true
+	}
+	return lost
+}
+
+// scheduleDeliver schedules the propagation-complete event for the frame
+// or train just pushed in flight. With jitter installed, delivery
+// instants are clamped monotone so the in-flight FIFO pop discipline
+// survives arbitrary extra delay (equal instants fire in scheduling
+// order on the sim clock).
+func (l *Link) scheduleDeliver() {
+	if l.jitter == nil && l.lastDeliverAt == 0 {
+		l.clock.After(l.cfg.Delay, l.deliverFn)
+		return
+	}
+	// Once any delivery has been jitter-scheduled, stay on the clamped
+	// path even after the model is removed: a spike-delayed frame may
+	// still be in flight, and an unclamped successor would overtake it.
+	extra := time.Duration(0)
+	if l.jitter != nil {
+		extra = l.jitter.Extra()
+	}
+	at := l.clock.Now().Add(l.cfg.Delay + extra)
+	if at.Before(l.lastDeliverAt) {
+		at = l.lastDeliverAt
+	}
+	l.lastDeliverAt = at
+	l.clock.At(at, l.deliverFn)
+}
+
 // onTxDone runs when the serializer finishes a frame: the link head is
 // free for the next frame while this one propagates (or is lost).
 func (l *Link) onTxDone() {
 	f := l.serializing
 	l.serializing = nil
-	if l.cfg.LossProb > 0 && l.cfg.RNG.Bernoulli(l.cfg.LossProb) {
+	lost := l.lossDraws()
+	switch {
+	case l.down:
+		l.stats.DownDrops++
+		if l.OnDrop != nil {
+			l.OnDrop(f, DropDown)
+		}
+		l.pool.Put(f)
+	case lost:
 		l.stats.RandomLoss++
 		if l.OnDrop != nil {
 			l.OnDrop(f, DropLoss)
 		}
 		l.pool.Put(f)
-	} else {
+	default:
 		l.inflight.push(f)
-		l.clock.After(l.cfg.Delay, l.deliverFn)
+		l.scheduleDeliver()
 	}
 	l.transmitNext()
 }
@@ -519,13 +612,21 @@ done:
 func (l *Link) onTxDoneTrain() {
 	survived := 0
 	for i, f := range l.train {
-		if l.cfg.LossProb > 0 && l.cfg.RNG.Bernoulli(l.cfg.LossProb) {
+		lost := l.lossDraws()
+		switch {
+		case l.down:
+			l.stats.DownDrops++
+			if l.OnDrop != nil {
+				l.OnDrop(f, DropDown)
+			}
+			l.pool.Put(f)
+		case lost:
 			l.stats.RandomLoss++
 			if l.OnDrop != nil {
 				l.OnDrop(f, DropLoss)
 			}
 			l.pool.Put(f)
-		} else {
+		default:
 			l.inflight.push(f)
 			survived++
 		}
@@ -534,7 +635,7 @@ func (l *Link) onTxDoneTrain() {
 	l.train = l.train[:0]
 	if survived > 0 {
 		l.survivors.push(survived)
-		l.clock.After(l.cfg.Delay, l.deliverFn)
+		l.scheduleDeliver()
 	}
 	l.transmitTrain()
 }

@@ -29,6 +29,7 @@ type Stats struct {
 	UnknownCircuit    uint64 // frames for circuits this relay doesn't carry
 	UnknownSource     uint64 // frames from nodes that are neither pred nor succ
 	FailedDrops       uint64 // frames blackholed while the relay was failed
+	HungDrops         uint64 // frames blackholed while the relay was hung
 	AdmissionRejected uint64 // hops refused by the resource manager
 	SchedDrops        uint64 // frames dropped by the uplink scheduler/policer
 }
@@ -95,6 +96,7 @@ type Relay struct {
 	hops   map[cell.CircID]*hop
 	stats  Stats
 	failed bool
+	hung   bool
 
 	// Resource management and scheduling, nil/absent by default (see
 	// Configure). mgr enforces Config.Limits; sched is the installed
@@ -201,6 +203,20 @@ func (r *Relay) Recover() { r.failed = false }
 
 // Failed reports whether the relay is currently out of service.
 func (r *Relay) Failed() bool { return r.failed }
+
+// Hang puts the relay into the hung degradation mode: it blackholes
+// every delivered frame (counted in Stats.HungDrops) exactly like a
+// failed relay, but Failed() stays false — a hang is silent, nothing in
+// the scripted churn machinery notices it. Endpoints only escape a hung
+// relay through their own stall detection (see internal/faults).
+func (r *Relay) Hang() { r.hung = true }
+
+// Unhang clears the hung mode; frames flow again over whatever circuit
+// state survived (transport retransmission recovers short hangs).
+func (r *Relay) Unhang() { r.hung = false }
+
+// Hung reports whether the relay is currently hung.
+func (r *Relay) Hung() bool { return r.hung }
 
 // Circuits returns the number of circuits currently crossing the relay.
 func (r *Relay) Circuits() int { return len(r.hops) }
@@ -420,6 +436,10 @@ func (r *Relay) Deliver(f *netem.Frame) {
 		r.stats.FailedDrops++
 		return
 	}
+	if r.hung {
+		r.stats.HungDrops++
+		return
+	}
 	seg, ok := f.Payload.(*transport.Segment)
 	if !ok {
 		panic(fmt.Sprintf("relay %s: non-segment frame from %s", r.id, f.Src))
@@ -441,6 +461,10 @@ func (r *Relay) Deliver(f *netem.Frame) {
 func (r *Relay) DeliverTrain(fs []*netem.Frame) {
 	if r.failed {
 		r.stats.FailedDrops += uint64(len(fs))
+		return
+	}
+	if r.hung {
+		r.stats.HungDrops += uint64(len(fs))
 		return
 	}
 	var h *hop

@@ -8,8 +8,11 @@ import (
 	"circuitstart/internal/arena"
 	"circuitstart/internal/core"
 	"circuitstart/internal/directory"
+	"circuitstart/internal/faults"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/sim"
+	"circuitstart/internal/transport"
+	"circuitstart/internal/units"
 	"circuitstart/internal/workload"
 )
 
@@ -81,7 +84,7 @@ type RelayEvent struct {
 // lifecycle at all. When false, trials run the exact pre-churn
 // execution path, preserving seeded outputs byte for byte.
 func (sc *Scenario) hasChurn() bool {
-	return sc.CircuitEvents.enabled() || len(sc.RelayEvents) > 0
+	return sc.CircuitEvents.enabled() || len(sc.RelayEvents) > 0 || sc.Faults.Enabled()
 }
 
 // validateChurn checks the churn-specific scenario fields. Called from
@@ -122,6 +125,13 @@ func (sc *Scenario) validateChurn() error {
 			return fmt.Errorf("scenario: arm %d (%q) sets Rebuild, which needs a generated Population consensus", i, a.Name)
 		}
 	}
+	var hasTrunk func(a, b netem.SwitchID) bool
+	if sc.Topology.Fabric != nil {
+		hasTrunk = sc.Topology.Fabric.HasTrunk
+	}
+	if err := sc.Faults.Validate(relayKnown, hasTrunk); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	return nil
 }
 
@@ -156,6 +166,17 @@ type download struct {
 	rejected bool // refused at circuit admission
 	ttlb     time.Duration
 	rebuild  int
+
+	// Recovery-engine state (zero unless Faults.Recovery is enabled;
+	// the slab zeroes these on reuse like everything else).
+	lastProgress uint64   // progressOf at the last watchdog check
+	stalled      bool     // inside a declared stall
+	stalledAt    sim.Time // when the open stall was declared
+	retries      int      // rebuild attempts spent from the budget
+	wgen         uint64   // watchdog generation; bumps invalidate chains
+	ended        bool     // availability accounting closed
+	est          *transport.RTTEstimator
+	delivered    units.DataSize // bytes banked from discarded circuits
 }
 
 // churnEngine drives one trial's dynamic circuit lifecycle on a single
@@ -174,6 +195,11 @@ type churnEngine struct {
 	dlSlab    *arena.Slab[download] // nil without an arena
 	failed    map[netem.NodeID]bool
 	churn     ChurnStats
+
+	// Fault-injection state (nil/zero without a fault plan).
+	inj      *faults.Injector
+	recovRNG *sim.RNG // recovery rebuild path sampling, own stream
+	resil    ResilienceStats
 }
 
 // newDownload allocates a ledger entry — from the trial arena's slab
@@ -192,7 +218,7 @@ func (e *churnEngine) newDownload(index int) *download {
 // initial circuits start per the arrival process exactly as in the
 // static path (same RNG streams), then churn arrivals, scheduled
 // teardowns and relay failure/recovery play out on the trial's clock.
-func runChurn(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) ([]CircuitOutcome, NetStats, ChurnStats, error) {
+func runChurn(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) ([]CircuitOutcome, NetStats, ChurnStats, ResilienceStats, error) {
 	e := &churnEngine{
 		sc:      sc,
 		arm:     arm,
@@ -211,19 +237,26 @@ func runChurn(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) ([]Cir
 	if sc.Topology.Population != nil {
 		wsc, err := workload.Build(seed, workloadParams(sc, arm, ar))
 		if err != nil {
-			return nil, NetStats{}, ChurnStats{}, err
+			return nil, NetStats{}, ChurnStats{}, ResilienceStats{}, err
 		}
 		e.n, e.cons, initial = wsc.Network, wsc.Consensus, wsc.Circuits
 		e.access = wsc.Params.ClientAccess
 	} else {
 		n, circuits, access, err := buildExplicit(sc, arm, seed, ar)
 		if err != nil {
-			return nil, NetStats{}, ChurnStats{}, err
+			return nil, NetStats{}, ChurnStats{}, ResilienceStats{}, err
 		}
 		e.n, initial, e.access = n, circuits, access
 	}
 	scheduleEvents(e.n, sc.Events)
 	e.watchKills()
+	if sc.Faults.Enabled() {
+		e.inj = faults.Install(e.n, sc.Faults, seed)
+	}
+	if sc.Faults.Recovery.Enabled {
+		e.recovRNG = sim.NewRNG(seed, "faults-recovery-paths")
+		e.resil.TTR = newTTRDist(arm.Name)
+	}
 
 	// Initial downloads follow the scenario's declared arrival process,
 	// drawn from the runner's own streams ("scenario-starts" /
@@ -283,7 +316,7 @@ func runChurn(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) ([]Cir
 	// its own once the last download finishes (or the horizon cuts a
 	// stalled one off).
 	e.n.RunUntil(sc.Horizon)
-	return e.collect(rep), netStats(e.n), e.churn, nil
+	return e.collect(rep), netStats(e.n), e.churn, e.resil, nil
 }
 
 // scheduleStart arms download d's first transfer start after delay. A
@@ -317,6 +350,12 @@ func (e *churnEngine) startTransfer(d *download) {
 	} else {
 		d.circuit.Transfer(size, onDone)
 	}
+	if e.recoveryOn() {
+		e.ensureEst(d)
+		d.wgen++ // invalidate watchdog chains from a previous circuit
+		d.lastProgress = e.progressOf(d)
+		e.armWatchdog(d)
+	}
 }
 
 // watchKills observes resource-manager evictions. The kill path tears
@@ -329,6 +368,7 @@ func (e *churnEngine) watchKills() {
 			if d.circuit == c && !d.done && !d.aborted {
 				d.aborted, d.killed = true, true
 				e.churn.Aborted++
+				e.endActive(d)
 				break
 			}
 		}
@@ -338,8 +378,19 @@ func (e *churnEngine) watchKills() {
 }
 
 // arrive builds a fresh circuit for churn download d and starts it.
+// With recovery enabled, a failed build enters the retry/backoff ladder
+// instead of aborting outright — build failures get the same treatment
+// as stalls.
 func (e *churnEngine) arrive(d *download) {
-	if !e.buildFresh(d) {
+	if e.recoveryOn() {
+		if err := e.buildOn(d, e.pathRNG, e.inj.ExcludedWith(e.failed)); err != nil {
+			if errors.Is(err, core.ErrCircuitRejected) {
+				e.churn.Rejected++
+			}
+			e.tryRebuild(d)
+			return
+		}
+	} else if !e.buildFresh(d) {
 		return
 	}
 	d.started = true
@@ -354,16 +405,33 @@ func (e *churnEngine) arrive(d *download) {
 // candidate for some position is down) or the build fails, the
 // download is recorded as aborted and buildFresh reports false.
 func (e *churnEngine) buildFresh(d *download) bool {
-	abort := func() bool {
-		d.aborted = true
-		e.churn.Aborted++
-		return false
+	err := e.buildOn(d, e.pathRNG, e.failed)
+	if err == nil {
+		return true
 	}
+	if errors.Is(err, core.ErrCircuitRejected) {
+		d.rejected = true
+		e.churn.Rejected++
+	}
+	// Building over declared relays cannot fail after validation;
+	// treat a failure as an aborted download rather than a panic.
+	d.aborted = true
+	e.churn.Aborted++
+	e.endActive(d)
+	return false
+}
+
+// buildOn builds download d a circuit over a path sampled with the
+// given RNG stream, excluding excl — the shared primitive under churn
+// rebuilds (pathRNG, scripted failures) and recovery rebuilds (recovRNG,
+// failures plus fault-suspect relays). On success the circuit is
+// installed and counted; the caller owns failure accounting.
+func (e *churnEngine) buildOn(d *download, rng *sim.RNG, excl map[netem.NodeID]bool) error {
 	var path []netem.NodeID
 	if e.cons != nil {
-		descs, err := e.cons.SelectPathExcluding(e.pathRNG, e.hops(), e.failed)
+		descs, err := e.cons.SelectPathExcluding(rng, e.hops(), excl)
 		if err != nil {
-			return abort()
+			return err
 		}
 		path = make([]netem.NodeID, len(descs))
 		for i, dd := range descs {
@@ -374,18 +442,11 @@ func (e *churnEngine) buildFresh(d *download) bool {
 	}
 	c, err := e.buildCircuit(d, path)
 	if err != nil {
-		if errors.Is(err, core.ErrCircuitRejected) {
-			d.rejected = true
-			e.churn.Rejected++
-			return abort()
-		}
-		// Building over declared relays cannot fail after validation;
-		// treat a failure as an aborted download rather than a panic.
-		return abort()
+		return err
 	}
 	d.circuit = c
 	e.churn.Built++
-	return true
+	return nil
 }
 
 // hops returns the sampled path length on generated topologies.
@@ -422,6 +483,14 @@ func (e *churnEngine) buildCircuit(d *download, path []netem.NodeID) (*core.Circ
 func (e *churnEngine) complete(d *download) {
 	d.done = true
 	d.ttlb = e.n.Now().Sub(d.startAt)
+	if e.recoveryOn() {
+		if d.stalled {
+			// Completion arrived before the watchdog saw new progress;
+			// the recovery span runs to the completion instant.
+			e.recordRecovery(d)
+		}
+		e.endActive(d)
+	}
 	circ := d.circuit
 	if delay := e.sc.CircuitEvents.TeardownDelay; delay > 0 {
 		e.n.Clock().After(delay, func() { e.teardown(circ) })
@@ -438,6 +507,7 @@ func (e *churnEngine) abort(d *download) {
 	}
 	d.aborted = true
 	e.churn.Aborted++
+	e.endActive(d)
 	e.teardown(d.circuit)
 }
 
@@ -475,10 +545,15 @@ func (e *churnEngine) relayEvent(ev RelayEvent) {
 		if !crossesRelay(d.circuit, ev.Relay) {
 			continue
 		}
+		if e.recoveryOn() {
+			// Bank the dying circuit's delivered bytes for goodput.
+			d.delivered += e.receivedOn(d.circuit)
+		}
 		e.teardown(d.circuit)
 		if !e.arm.Rebuild || e.cons == nil {
 			d.aborted = true
 			e.churn.Aborted++
+			e.endActive(d)
 			continue
 		}
 		d.rebuild++
@@ -530,6 +605,14 @@ func (e *churnEngine) collect(rep int) []CircuitOutcome {
 			if e.sc.Probes.TraceCwnd {
 				o.Trace = d.circuit.SourceTrace()
 			}
+		}
+		if e.recoveryOn() {
+			// Downloads still running (or stalled) at the horizon close
+			// their availability accounting here; endpoint objects
+			// survive Teardown, so the final circuit's bytes are
+			// readable for goodput.
+			e.endActive(d)
+			e.resil.GoodputBytes += float64(d.delivered + e.receivedOn(d.circuit))
 		}
 		out[i] = o
 	}

@@ -102,6 +102,79 @@ func newLifetimeDist(arm string) *metrics.Distribution {
 	return metrics.NewDistribution("lifetime_" + arm)
 }
 
+// ResilienceStats aggregates one arm's fault-recovery activity. It is
+// populated only when the scenario enables Faults.Recovery; otherwise
+// it stays zero with a nil TTR and the rendered output is unchanged.
+type ResilienceStats struct {
+	// Stalls counts declared stalls (one per outage, however many
+	// rebuild attempts it took).
+	Stalls int
+	// Recoveries counts stalls that saw transport progress again.
+	Recoveries int
+	// Retries counts rebuild attempts spent from downloads' budgets.
+	Retries int
+	// Abandoned counts downloads that exhausted their retry budget
+	// (also counted in ChurnStats.Aborted).
+	Abandoned int
+	// TTR pools time-to-recovery in seconds: stall declaration to first
+	// subsequent progress (or completion).
+	TTR *metrics.Distribution
+	// Downtime and Active are summed per-download seconds: Active spans
+	// each download's first start to its terminal instant, Downtime the
+	// stalled portions thereof.
+	Downtime float64
+	Active   float64
+	// GoodputBytes totals bytes landed at receiving endpoints, including
+	// partial deliveries on circuits later torn down.
+	GoodputBytes float64
+}
+
+// merge pools another trial's resilience accounting into s.
+func (s *ResilienceStats) merge(o ResilienceStats) {
+	s.Stalls += o.Stalls
+	s.Recoveries += o.Recoveries
+	s.Retries += o.Retries
+	s.Abandoned += o.Abandoned
+	s.Downtime += o.Downtime
+	s.Active += o.Active
+	s.GoodputBytes += o.GoodputBytes
+	if s.TTR != nil && o.TTR != nil {
+		for _, v := range o.TTR.Sorted() {
+			s.TTR.Add(v)
+		}
+	}
+}
+
+// Availability is the fraction of download-active time the transport
+// was not stalled, in [0, 1] (1 when nothing ran).
+func (s *ResilienceStats) Availability() float64 {
+	if s.Active <= 0 {
+		return 1
+	}
+	a := 1 - s.Downtime/s.Active
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// Goodput is delivered bytes per download-active second — throughput as
+// the endpoints experienced it under fault, rebuild gaps included.
+func (s *ResilienceStats) Goodput() float64 {
+	if s.Active <= 0 {
+		return 0
+	}
+	return s.GoodputBytes / s.Active
+}
+
+// newTTRDist names an arm's pooled time-to-recovery distribution.
+func newTTRDist(arm string) *metrics.Distribution {
+	return metrics.NewDistribution("ttr_" + arm)
+}
+
 // CircuitOutcome is one circuit's outcome in one trial. In churn
 // scenarios an entry is one logical download, which may span several
 // circuits (rebuilds after relay failures).
@@ -160,6 +233,9 @@ type ArmResult struct {
 	// Churn pools the arm's circuit-lifecycle accounting (zero, with a
 	// nil Lifetime, on scenarios without churn).
 	Churn ChurnStats
+	// Resilience pools the arm's fault-recovery accounting (zero, with
+	// a nil TTR, unless the scenario enables Faults.Recovery).
+	Resilience ResilienceStats
 }
 
 // JainTTLB returns Jain's fairness index over the arm's pooled
@@ -222,6 +298,9 @@ func (r *Result) WriteText(w io.Writer) error {
 	if err := r.writeChurn(w); err != nil {
 		return err
 	}
+	if err := r.writeResilience(w); err != nil {
+		return err
+	}
 	if err := r.writeResources(w); err != nil {
 		return err
 	}
@@ -276,6 +355,32 @@ func (r *Result) writeChurn(w io.Writer) error {
 			life = fmt.Sprintf("%.3f", c.Lifetime.Median())
 		}
 		tbl.AddRowf(r.Arms[i].Name, c.Built, c.TornDown, c.Rebuilt, c.Aborted, c.Rejected, life)
+	}
+	return tbl.WriteText(w)
+}
+
+// writeResilience renders the per-arm fault-recovery table. Scenarios
+// without Faults.Recovery have nil TTR distributions and emit nothing,
+// so pre-fault outputs are unchanged byte for byte.
+func (r *Result) writeResilience(w io.Writer) error {
+	enabled := false
+	for i := range r.Arms {
+		if r.Arms[i].Resilience.TTR != nil {
+			enabled = true
+		}
+	}
+	if !enabled {
+		return nil
+	}
+	tbl := traceio.NewTable("arm", "stalls", "recoveries", "retries", "abandoned", "median_ttr_s", "availability", "goodput_kbps")
+	for i := range r.Arms {
+		rs := &r.Arms[i].Resilience
+		ttr := "-"
+		if rs.TTR != nil && rs.TTR.Len() > 0 {
+			ttr = fmt.Sprintf("%.3f", rs.TTR.Median())
+		}
+		tbl.AddRowf(r.Arms[i].Name, rs.Stalls, rs.Recoveries, rs.Retries, rs.Abandoned,
+			ttr, fmt.Sprintf("%.4f", rs.Availability()), fmt.Sprintf("%.1f", rs.Goodput()*8/1000))
 	}
 	return tbl.WriteText(w)
 }

@@ -36,6 +36,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 	outs := make([][]CircuitOutcome, trials)
 	nets := make([]NetStats, trials)
 	churns := make([]ChurnStats, trials)
+	resils := make([]ResilienceStats, trials)
 	errs := make([]error, trials)
 
 	workers := r.Workers
@@ -64,7 +65,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 					return
 				}
 				rep, arm := i/len(sc.Arms), i%len(sc.Arms)
-				outs[i], nets[i], churns[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep, ar)
+				outs[i], nets[i], churns[i], resils[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep, ar)
 				if errs[i] != nil {
 					// A failed (possibly panicked) trial may leave the
 					// arena's clock mid-run; start the next trial clean.
@@ -88,6 +89,9 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 		if sc.hasChurn() {
 			res.Arms[i].Churn.Lifetime = newLifetimeDist(a.Name)
 		}
+		if sc.Faults.Recovery.Enabled {
+			res.Arms[i].Resilience.TTR = newTTRDist(a.Name)
+		}
 	}
 	for i := 0; i < trials; i++ {
 		arm := &res.Arms[i%len(sc.Arms)]
@@ -106,6 +110,7 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 		}
 		arm.Net.merge(nets[i])
 		arm.Churn.merge(churns[i])
+		arm.Resilience.merge(resils[i])
 	}
 	return res, nil
 }
@@ -130,7 +135,7 @@ func trialSeed(seed int64, rep int) int64 {
 // fails the run cleanly instead of killing the worker pool. Scenarios
 // with churn run the dynamic-lifecycle engine; everything else takes
 // the original static path, unchanged byte for byte.
-func runTrial(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) (out []CircuitOutcome, net NetStats, churn ChurnStats, err error) {
+func runTrial(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) (out []CircuitOutcome, net NetStats, churn ChurnStats, resil ResilienceStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("scenario: arm %q rep %d panicked: %v", arm.Name, rep, p)
@@ -138,7 +143,7 @@ func runTrial(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) (out [
 	}()
 	switch {
 	case sc.hasChurn():
-		out, net, churn, err = runChurn(sc, arm, seed, rep, ar)
+		out, net, churn, resil, err = runChurn(sc, arm, seed, rep, ar)
 	case sc.Topology.Population != nil:
 		out, net, err = runGenerated(sc, arm, seed, rep, ar)
 	default:
@@ -147,7 +152,7 @@ func runTrial(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) (out [
 	if err != nil {
 		err = fmt.Errorf("scenario: arm %q rep %d: %w", arm.Name, rep, err)
 	}
-	return out, net, churn, err
+	return out, net, churn, resil, err
 }
 
 // netStats snapshots the fabric and resource accounting after a trial

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"circuitstart/internal/core"
+	"circuitstart/internal/faults"
 	"circuitstart/internal/netem"
 	"circuitstart/internal/relay"
 	"circuitstart/internal/sim"
@@ -193,6 +194,13 @@ type Scenario struct {
 	// crossing a failed relay are torn down at the failure instant;
 	// arms with Rebuild set give the affected downloads fresh circuits.
 	RelayEvents []RelayEvent
+	// Faults is the declarative fault-injection plan: burst loss, delay
+	// jitter, link flaps, trunk partitions, relay degradation, and the
+	// endpoint-side stall-detection/recovery configuration. The zero
+	// value injects nothing and keeps seeded outputs byte-identical;
+	// any non-zero plan routes the trial through the dynamic lifecycle
+	// engine (see internal/faults).
+	Faults faults.Plan
 	// TrainSize caps cell-train coalescing on every link of every trial
 	// — access links and backbone trunks alike. Values ≤ 1 keep the
 	// byte-identical one-event-per-cell pipeline; larger values batch
@@ -249,6 +257,19 @@ func (sc *Scenario) validate() error {
 	if sc.Topology.Fabric != nil {
 		if err := sc.Topology.Fabric.Validate(); err != nil {
 			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	// Access configurations are validated here — the same rules NewLink
+	// enforces by panic — so a bad grid point in a scripted sweep fails
+	// its trial cleanly instead of crashing the worker pool.
+	for i, r := range sc.Topology.Relays {
+		if err := r.Access.Validate(); err != nil {
+			return fmt.Errorf("scenario: relay %d (%q): %w", i, r.ID, err)
+		}
+	}
+	if sc.ClientAccess.UpRate != 0 || sc.ClientAccess.DownRate != 0 {
+		if err := sc.ClientAccess.Validate(); err != nil {
+			return fmt.Errorf("scenario: client access: %w", err)
 		}
 	}
 	for i, ev := range sc.Events {
@@ -338,6 +359,24 @@ func (sc *Scenario) validate() error {
 		return fmt.Errorf("scenario: %d circuits", sc.Circuits.Count)
 	}
 	return sc.validateChurn()
+}
+
+// RelayIDs returns the topology's relay IDs in deterministic order —
+// explicit declaration order, or the generated population's index
+// order. Fault presets are rendered against this list.
+func (sc *Scenario) RelayIDs() []netem.NodeID {
+	if p := sc.Topology.Population; p != nil {
+		ids := make([]netem.NodeID, p.N)
+		for i := range ids {
+			ids[i] = workload.RelayID(i)
+		}
+		return ids
+	}
+	ids := make([]netem.NodeID, len(sc.Topology.Relays))
+	for i, r := range sc.Topology.Relays {
+		ids[i] = r.ID
+	}
+	return ids
 }
 
 // path returns circuit i's relay sequence on an explicit topology.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"circuitstart/internal/faults"
 	"circuitstart/internal/netem"
 	relaypkg "circuitstart/internal/relay"
 	"circuitstart/internal/resource"
@@ -304,6 +305,33 @@ func DimTrainSize(sizes ...int) (Dimension, error) {
 			Label: fmt.Sprintf("%d", n),
 			Apply: func(sc *scenario.Scenario) error {
 				sc.TrainSize = n
+				return nil
+			},
+		})
+	}
+	return d, nil
+}
+
+// DimFaults returns a dimension sweeping named fault presets (see
+// faults.PresetNames; "none" is the fault-free control). Preset names
+// are validated eagerly; the preset itself is rendered at apply time
+// against each point's own topology, so the axis composes with
+// population-size and topology dimensions.
+func DimFaults(names ...string) (Dimension, error) {
+	d := Dimension{Name: "faults"}
+	for _, name := range names {
+		name := name
+		if _, err := faults.Preset(name, nil); err != nil {
+			return Dimension{}, fmt.Errorf("sweep: %w", err)
+		}
+		d.Values = append(d.Values, Value{
+			Label: name,
+			Apply: func(sc *scenario.Scenario) error {
+				plan, err := faults.Preset(name, sc.RelayIDs())
+				if err != nil {
+					return err
+				}
+				sc.Faults = plan
 				return nil
 			},
 		})

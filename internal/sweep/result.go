@@ -47,6 +47,18 @@ type ArmPoint struct {
 	// MemHighWater is the largest per-relay held-cell memory observed
 	// across the arm's trials, in bytes.
 	MemHighWater int64
+	// Stalls, Recoveries, Retries and Abandoned pool the arm's
+	// fault-recovery counters (zero without Faults.Recovery).
+	Stalls, Recoveries, Retries, Abandoned int
+	// TTRP50 is the median time-to-recovery in seconds (0 when no stall
+	// recovered).
+	TTRP50 float64
+	// Availability is the fraction of download-active time the arm's
+	// transports were not stalled (1 without recovery enabled).
+	Availability float64
+	// GoodputKBps is delivered kilobits per download-active second under
+	// fault (0 without recovery enabled).
+	GoodputKBps float64
 }
 
 // PointResult is one executed grid point: the point itself, its
@@ -82,6 +94,16 @@ func armPoints(res *scenario.Result) []ArmPoint {
 			Killed:            a.Net.Resource.Killed,
 			SchedDrops:        a.Net.SchedDrops,
 			MemHighWater:      int64(a.Net.Resource.MemHighWater),
+
+			Stalls:       a.Resilience.Stalls,
+			Recoveries:   a.Resilience.Recoveries,
+			Retries:      a.Resilience.Retries,
+			Abandoned:    a.Resilience.Abandoned,
+			Availability: a.Resilience.Availability(),
+			GoodputKBps:  a.Resilience.Goodput() * 8 / 1000,
+		}
+		if ttr := a.Resilience.TTR; ttr != nil && ttr.Len() > 0 {
+			ap.TTRP50 = ttr.Median()
 		}
 		var exitSum float64
 		exits := metrics.NewDistribution("exit_time")

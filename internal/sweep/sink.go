@@ -41,6 +41,7 @@ var metricColumns = []string{
 	"unknown_dst", "unroutable", "trunk_drops", "mean_train",
 	"built", "torn_down", "rebuilt", "aborted",
 	"jain_ttlb", "adm_rejected", "killed", "sched_drops", "mem_hw_bytes",
+	"stalls", "recoveries", "retries", "abandoned", "ttr_p50_s", "availability", "goodput_kbps",
 }
 
 // metricCells renders one ArmPoint in metricColumns order.
@@ -52,6 +53,7 @@ func metricCells(ap *ArmPoint) []any {
 		ap.UnknownDst, ap.Unroutable, ap.TrunkDrops, ap.MeanTrainLen,
 		ap.Built, ap.TornDown, ap.Rebuilt, ap.Aborted,
 		ap.Jain, ap.AdmissionRejected, ap.Killed, ap.SchedDrops, ap.MemHighWater,
+		ap.Stalls, ap.Recoveries, ap.Retries, ap.Abandoned, ap.TTRP50, ap.Availability, ap.GoodputKBps,
 	}
 }
 
@@ -147,6 +149,13 @@ type JSONLRow struct {
 	Killed     uint64            `json:"killed"`
 	SchedDrops uint64            `json:"sched_drops"`
 	MemHW      int64             `json:"mem_hw_bytes"`
+	Stalls     int               `json:"stalls"`
+	Recoveries int               `json:"recoveries"`
+	Retries    int               `json:"retries"`
+	Abandoned  int               `json:"abandoned"`
+	TTRP50     float64           `json:"ttr_p50_s"`
+	Avail      float64           `json:"availability"`
+	Goodput    float64           `json:"goodput_kbps"`
 }
 
 // JSONLSink streams a metadata header line followed by one JSON line
@@ -202,6 +211,9 @@ func (s *JSONLSink) Point(pr *PointResult) error {
 			Built:     ap.Built, TornDown: ap.TornDown, Rebuilt: ap.Rebuilt, Aborted: ap.Aborted,
 			Jain: ap.Jain, AdmRejects: ap.AdmissionRejected, Killed: ap.Killed,
 			SchedDrops: ap.SchedDrops, MemHW: ap.MemHighWater,
+			Stalls: ap.Stalls, Recoveries: ap.Recoveries, Retries: ap.Retries,
+			Abandoned: ap.Abandoned, TTRP50: ap.TTRP50, Avail: ap.Availability,
+			Goodput: ap.GoodputKBps,
 		}
 		if err := s.js.Write(row); err != nil {
 			return err

@@ -49,7 +49,8 @@ func TestCSVRoundTrip(t *testing.T) {
 		"ttlb_mean_s", "ttlb_min_s", "ttlb_p25_s", "ttlb_p50_s", "ttlb_p75_s", "ttlb_p90_s", "ttlb_p99_s", "ttlb_max_s",
 		"exit_cwnd", "exit_time_s", "restarts", "unknown_dst", "unroutable", "trunk_drops", "mean_train",
 		"built", "torn_down", "rebuilt", "aborted",
-		"jain_ttlb", "adm_rejected", "killed", "sched_drops", "mem_hw_bytes"}
+		"jain_ttlb", "adm_rejected", "killed", "sched_drops", "mem_hw_bytes",
+		"stalls", "recoveries", "retries", "abandoned", "ttr_p50_s", "availability", "goodput_kbps"}
 	if strings.Join(recs[0], "|") != strings.Join(wantHeader, "|") {
 		t.Fatalf("header = %v\nwant %v", recs[0], wantHeader)
 	}
