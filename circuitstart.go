@@ -217,6 +217,12 @@ type (
 	// FaultsParams configures the resilience ablation (CircuitStart vs
 	// slow start under burst loss, a relay hang and a trunk flap).
 	FaultsParams = experiments.FaultsParams
+	// ScaleParams configures the scale ablation: one whole-network
+	// churn trial at a consensus-realistic relay count, timed at each
+	// requested shard count over byte-identical simulations.
+	ScaleParams = experiments.ScaleParams
+	// ScaleResult is the scale ablation's speedup table.
+	ScaleResult = experiments.ScaleResult
 )
 
 // Relay resource management and scheduling. See the package comment's
@@ -368,6 +374,12 @@ var (
 	SweepRelayCaps = sweep.DimRelayCaps
 	// SweepSeeds re-runs the grid under independent base seeds.
 	SweepSeeds = sweep.Seeds
+	// SweepTrainSizes sweeps the cell-train coalescing cap.
+	SweepTrainSizes = sweep.DimTrainSize
+	// SweepShards sweeps the trial-internal shard count on the
+	// conservative-lookahead parallel engine (byte-identical results,
+	// wall-clock only).
+	SweepShards = sweep.DimShards
 	// NewSweepCSVSink streams sweep rows as CSV.
 	NewSweepCSVSink = sweep.NewCSVSink
 	// NewSweepJSONLSink streams sweep rows as JSON lines.
@@ -467,6 +479,12 @@ var (
 	AblationFaults = experiments.AblationFaults
 	// DefaultFaultsParams mirrors the faults ablation's setup.
 	DefaultFaultsParams = experiments.DefaultFaultsParams
+	// AblationScale times one whole-network churn trial at each shard
+	// count of the conservative-lookahead parallel engine and asserts
+	// the results are byte-identical across all of them.
+	AblationScale = experiments.AblationScale
+	// DefaultScaleParams mirrors the scale ablation's setup.
+	DefaultScaleParams = experiments.DefaultScaleParams
 	// FaultPreset renders a named fault preset ("burstloss", "flaky",
 	// "hang", ...) against a concrete relay list.
 	FaultPreset = faults.Preset

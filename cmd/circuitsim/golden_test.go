@@ -66,3 +66,40 @@ func TestGoldenScenarioOutput(t *testing.T) {
 		t.Errorf("seeded scenario output drifted from testdata/golden_scenario.txt\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// goldenShardedArgs is the sharded determinism fixture's flag set,
+// minus -shards (the matrix test appends it). Faults, cell trains,
+// Poisson arrivals and two workers all ride along, so the fixture pins
+// the sharded engine's full surface, not just the quiet data plane.
+var goldenShardedArgs = []string{
+	"-circuits", "4", "-relays", "24", "-switches", "8",
+	"-size", "100000", "-poisson", "40", "-reps", "2",
+	"-workers", "2", "-seed", "42", "-train", "2",
+	"-faults", "testdata/sharded_faults.json",
+}
+
+// TestGoldenShardedOutput pins the sharded engine's determinism
+// contract twice over: the output must match the committed fixture
+// byte for byte AND must not change with the shard count. If a change
+// legitimately alters sharded outputs, regenerate with:
+//
+//	go run ./cmd/circuitsim scenario -circuits 4 -relays 24 \
+//	  -switches 8 -shards 1 -size 100000 -poisson 40 -reps 2 \
+//	  -workers 2 -seed 42 -train 2 \
+//	  -faults cmd/circuitsim/testdata/sharded_faults.json \
+//	  > cmd/circuitsim/testdata/golden_sharded.txt
+//
+// and call out the determinism break in the change description.
+func TestGoldenShardedOutput(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_sharded.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []string{"1", "2", "4", "8"} {
+		args := append(append([]string{}, goldenShardedArgs...), "-shards", shards)
+		got := captureStdout(t, func() error { return runScenario(args) })
+		if got != string(want) {
+			t.Errorf("sharded output at -shards %s drifted from testdata/golden_sharded.txt\n--- got ---\n%s--- want ---\n%s", shards, got, want)
+		}
+	}
+}

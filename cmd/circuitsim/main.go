@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -195,6 +196,7 @@ func runFig1CDF(args []string) error {
 var ablationNames = []string{
 	"gamma", "compensation", "clock", "position", "concurrency",
 	"extensions", "vegas", "shared", "churn", "overload", "faults",
+	"scale",
 }
 
 func runAblation(args []string) error {
@@ -211,6 +213,9 @@ func runAblation(args []string) error {
 	maxMemory := fs.Int64("max-memory", 128_000, "per-relay held-cell memory cap [bytes] (overload only)")
 	killPolicy := fs.String("kill", "kill-heaviest", "cap policy: reject-new | kill-oldest | kill-heaviest (overload only)")
 	train := fs.Int("train", 0, "cell-train coalescing cap per link, <=1 = one event per cell (churn, overload, faults)")
+	relays := fs.Int("relays", 1024, "generated relay population size (scale only)")
+	switches := fs.Int("switches", 16, "backbone ring switches (scale only)")
+	shardCounts := fs.String("shards", "1,2,4", "comma-separated shard counts to time (scale only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -331,9 +336,40 @@ func runAblation(args []string) error {
 		fmt.Printf("ablation faults: %d downloads (%s each) on %d relay pairs behind a %s trunk; burst loss, relay hang and trunk flap with endpoint recovery\n",
 			p.Circuits, p.TransferSize, p.RelayPairs, p.TrunkRate)
 		return res.WriteText(os.Stdout)
+	case "scale":
+		p := experiments.DefaultScaleParams()
+		p.Seed = *seed
+		p.Relays = *relays
+		p.Switches = *switches
+		p.TrainSize = *train
+		counts, err := parseShardCounts(*shardCounts)
+		if err != nil {
+			return err
+		}
+		p.ShardCounts = counts
+		res, err := experiments.AblationScale(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ablation scale: %d initial + %d arriving downloads (%s each) over %d relays behind %d switches, one trial timed per shard count\n",
+			p.InitialCircuits, p.Arrivals, p.TransferSize, p.Relays, p.Switches)
+		return res.WriteText(os.Stdout)
 	default:
 		return fmt.Errorf("unknown ablation %q", *name)
 	}
+}
+
+// parseShardCounts parses the scale ablation's "1,2,4" flag.
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func printAblation(rows []experiments.AblationRow) error {
@@ -398,6 +434,8 @@ func runScenario(args []string) error {
 	download := fs.Bool("download", false, "run transfers in the download (server → client) direction")
 	horizon := fs.Duration("horizon", 600*time.Second, "per-trial virtual time bound")
 	train := fs.Int("train", 0, "cell-train coalescing cap per link (≤1 = one event per cell)")
+	switches := fs.Int("switches", 0, "home the relays behind a backbone ring of this many switches (0 = star topology)")
+	shards := fs.Int("shards", 0, "partition each trial across this many shard clocks (0 = single clock; needs -switches)")
 	faultArg := fs.String("faults", "", "fault plan: a preset name ("+strings.Join(faults.PresetNames(), ", ")+") or a JSON spec file")
 	csvPath := fs.String("csv", "", "write every arm's TTLB CDF as CSV")
 	if err := fs.Parse(args); err != nil {
@@ -437,6 +475,17 @@ func runScenario(args []string) error {
 		Horizon:      sim.Time(*horizon),
 		Replications: *reps,
 		TrainSize:    *train,
+		Shards:       *shards,
+	}
+	if *switches > 0 {
+		bp := workload.DefaultBackboneParams(*relays, *switches)
+		spec, err := workload.GenerateBackbone(bp)
+		if err != nil {
+			return err
+		}
+		sc.Topology.Fabric = &spec
+	} else if *shards > 0 {
+		return fmt.Errorf("-shards needs a routed backbone: set -switches > 0")
 	}
 	if *faultArg != "" {
 		plan, err := resolveFaults(*faultArg, sc.RelayIDs())

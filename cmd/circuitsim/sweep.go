@@ -39,6 +39,7 @@ func runSweep(args []string) error {
 	distance := fs.Int("distance", 3, "bottleneck distance in hops (trace base)")
 	relays := fs.Int("relays", 40, "relay population size (population base)")
 	circuits := fs.Int("circuits", 50, "concurrent circuits (population base)")
+	switches := fs.Int("switches", 0, "home the population behind a backbone ring of this many switches (population base; 0 = star)")
 	size := fs.Int64("size", 500_000, "transfer size per circuit [bytes] (population base)")
 	horizon := fs.Duration("horizon", 600*time.Second, "per-trial virtual time bound (population base)")
 	spread := fs.Duration("spread", 200*time.Millisecond, "uniform start stagger window (population base)")
@@ -49,6 +50,7 @@ func runSweep(args []string) error {
 	sizes := fs.String("sizes", "", "dimension: transfer sizes [bytes] (comma-separated)")
 	counts := fs.String("counts", "", "dimension: concurrent circuit counts (comma-separated)")
 	trains := fs.String("trains", "", "dimension: cell-train coalescing caps (comma-separated; ≤1 = untrained)")
+	shardCounts := fs.String("shardcounts", "", "dimension: trial shard counts (comma-separated; needs -switches)")
 	faultNames := fs.String("faults", "", "dimension: fault presets (comma-separated; "+strings.Join(faults.PresetNames(), ", ")+")")
 	sample := fs.Int("sample", 0, "cap the grid to a seeded sample of this many points (0 = full)")
 	resume := fs.Int("resume", 0, "skip grid points with index below this (append to a prior -out)")
@@ -72,7 +74,7 @@ func runSweep(args []string) error {
 		cfg := sweepConfig{
 			name: "cli-sweep", kind: *base, seed: *seed, arms: splitList(*arms),
 			hops: *hops, distance: *distance,
-			relays: *relays, circuits: *circuits, size: *size,
+			relays: *relays, circuits: *circuits, switches: *switches, size: *size,
 			horizon: *horizon, spread: *spread,
 			sample: *sample,
 		}
@@ -86,6 +88,7 @@ func runSweep(args []string) error {
 			{"size", *sizes},
 			{"count", *counts},
 			{"train", *trains},
+			{"shards", *shardCounts},
 			{"faults", *faultNames},
 		} {
 			if d.raw != "" {
@@ -167,6 +170,7 @@ type sweepConfig struct {
 	hops, distance  int
 	relays          int
 	circuits        int
+	switches        int
 	size            int64
 	horizon, spread time.Duration
 	sample          int
@@ -207,10 +211,18 @@ func (c sweepConfig) build() (sweep.Sweep, error) {
 		if c.spread > 0 {
 			arrival = scenario.Arrival{Kind: scenario.ArriveUniform, Spread: c.spread}
 		}
+		topo := scenario.Topology{Population: &pop}
+		if c.switches > 0 {
+			spec, err := workload.GenerateBackbone(workload.DefaultBackboneParams(c.relays, c.switches))
+			if err != nil {
+				return sweep.Sweep{}, fmt.Errorf("sweep: %w", err)
+			}
+			topo.Fabric = &spec
+		}
 		baseSc = scenario.Scenario{
 			Name:     c.name,
 			Seed:     c.seed,
-			Topology: scenario.Topology{Population: &pop},
+			Topology: topo,
 			Circuits: scenario.CircuitSet{
 				Count:        c.circuits,
 				Hops:         c.hops,
@@ -233,7 +245,7 @@ func (c sweepConfig) build() (sweep.Sweep, error) {
 		sw.Dimensions = append(sw.Dimensions, dim)
 	}
 	if len(sw.Dimensions) == 0 {
-		return sweep.Sweep{}, fmt.Errorf("sweep: no dimensions (pass at least one of -gammas, -policies, -bandwidths, -hopcounts, -sizes, -counts, -trains, -faults, or a -spec file)")
+		return sweep.Sweep{}, fmt.Errorf("sweep: no dimensions (pass at least one of -gammas, -policies, -bandwidths, -hopcounts, -sizes, -counts, -trains, -shardcounts, -faults, or a -spec file)")
 	}
 	return sw, nil
 }
@@ -296,6 +308,12 @@ func (c sweepConfig) buildDim(d dimRequest, traceParams experiments.CwndTracePar
 			return sweep.Dimension{}, fmt.Errorf("sweep: -trains: %w", err)
 		}
 		return sweep.DimTrainSize(ns...)
+	case "shards":
+		ns, err := parseInts(d.raw)
+		if err != nil {
+			return sweep.Dimension{}, fmt.Errorf("sweep: -shardcounts: %w", err)
+		}
+		return sweep.DimShards(ns...)
 	case "faults":
 		return sweep.DimFaults(d.raw...)
 	default:
@@ -394,6 +412,7 @@ type sweepSpecBase struct {
 	// Population shape.
 	Relays     int     `json:"relays"`
 	Circuits   int     `json:"circuits"`
+	Switches   int     `json:"switches"`
 	SizeBytes  int64   `json:"size_bytes"`
 	HorizonSec float64 `json:"horizon_sec"`
 	// SpreadMs is nullable so an explicit 0 (simultaneous arrivals) is
@@ -409,6 +428,7 @@ type sweepSpecDim struct {
 	SizesBytes     []int64   `json:"sizes_bytes,omitempty"`
 	Counts         []int     `json:"counts,omitempty"`
 	Trains         []int     `json:"trains,omitempty"`
+	Shards         []int     `json:"shards,omitempty"`
 	Faults         []string  `json:"faults,omitempty"`
 }
 
@@ -428,7 +448,8 @@ func parseSweepSpec(data []byte) (sweep.Sweep, error) {
 		arms:     spec.Base.Arms,
 		hops:     spec.Base.Hops,
 		distance: spec.Base.Distance,
-		relays:   spec.Base.Relays, circuits: spec.Base.Circuits, size: spec.Base.SizeBytes,
+		relays:   spec.Base.Relays, circuits: spec.Base.Circuits,
+		switches: spec.Base.Switches, size: spec.Base.SizeBytes,
 		horizon: time.Duration(spec.Base.HorizonSec * float64(time.Second)),
 		spread:  200 * time.Millisecond,
 		sample:  spec.Sample, sampleSeed: spec.SampleSeed,
@@ -504,6 +525,9 @@ func specDimRequest(d sweepSpecDim) (dimRequest, error) {
 	}
 	if len(d.Trains) > 0 {
 		out = append(out, dimRequest{kind: "train", raw: intsToRaw(d.Trains)})
+	}
+	if len(d.Shards) > 0 {
+		out = append(out, dimRequest{kind: "shards", raw: intsToRaw(d.Shards)})
 	}
 	if len(d.Faults) > 0 {
 		out = append(out, dimRequest{kind: "faults", raw: d.Faults})

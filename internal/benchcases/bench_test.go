@@ -22,3 +22,17 @@ func BenchmarkSingleTransfer(b *testing.B) {
 	}
 	SingleTransfer(b)
 }
+
+func BenchmarkShardedChurn1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("consensus-scale churn trial")
+	}
+	ShardedChurn1(b)
+}
+
+func BenchmarkShardedChurn4(b *testing.B) {
+	if testing.Short() {
+		b.Skip("consensus-scale churn trial")
+	}
+	ShardedChurn4(b)
+}

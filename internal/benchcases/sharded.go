@@ -1,0 +1,36 @@
+package benchcases
+
+import (
+	"testing"
+
+	"circuitstart/internal/experiments"
+	"circuitstart/internal/scenario"
+)
+
+// shardedChurn runs one whole-network churn trial per iteration at the
+// scale ablation's default population (1,024 relays behind a 16-switch
+// ring, 48 initial + 96 arriving downloads) and the given shard count.
+// The 1-vs-4-shard pair in the headline snapshot records the sharded
+// engine's wall-clock trajectory alongside the microbenchmarks; unlike
+// those it allocates whole trials, so it is deliberately NOT in the
+// zero-alloc gate.
+func shardedChurn(b *testing.B, shards int) {
+	sc, err := experiments.DefaultScaleParams().Scenario(shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := scenario.Runner{Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ShardedChurn1 is the single-shard baseline of the pair.
+func ShardedChurn1(b *testing.B) { shardedChurn(b, 1) }
+
+// ShardedChurn4 is the same trial split across four shards.
+func ShardedChurn4(b *testing.B) { shardedChurn(b, 4) }

@@ -29,6 +29,8 @@ var Headline = []struct {
 	{"onion_unwrap", OnionUnwrap},
 	{"scheduler_enqueue_dequeue", SchedulerEnqueueDequeue},
 	{"single_transfer", SingleTransfer},
+	{"sharded_churn_1shard", ShardedChurn1},
+	{"sharded_churn_4shard", ShardedChurn4},
 }
 
 // Result is one benchmark's measurement in a snapshot.

@@ -136,6 +136,22 @@ func (gs GraphSpec) HasTrunk(a, b SwitchID) bool {
 	return false
 }
 
+// MinPositiveTrunkDelay returns the smallest nonzero propagation delay
+// over every trunk in the spec, or zero when no trunk has one. It is a
+// partition-independent lower bound on any ShardPlan's lookahead (the
+// lookahead minimizes over cut trunks, a subset), so scenario engines
+// use it as the shard-count-invariant barrier window: the same barrier
+// schedule at every shard count, including one.
+func (gs GraphSpec) MinPositiveTrunkDelay() time.Duration {
+	min := time.Duration(0)
+	for _, t := range gs.Trunks {
+		if d := t.Config.Delay; d > 0 && (min == 0 || d < min) {
+			min = d
+		}
+	}
+	return min
+}
+
 // Build constructs the fabric the spec describes on the given clock. rng
 // drives trunk loss processes (only consulted when a trunk has loss).
 // Build panics on an invalid spec — Validate first when the spec comes
@@ -198,6 +214,14 @@ type GraphFabric struct {
 	pinned map[NodeID]SwitchID // explicit homes
 	homes  map[NodeID]SwitchID // resolved at attach
 	pool   *FramePool
+
+	// Sharded-execution hooks (see shard.go). remoteHome resolves nodes
+	// attached on other shards of a ShardedFabric so routeFrom forwards
+	// toward their home switch instead of counting an unknown
+	// destination; onAttach mirrors local attachments into the sharded
+	// fabric's global registry. Both are nil on standalone fabrics.
+	remoteHome func(NodeID) (SwitchID, bool)
+	onAttach   func(id NodeID, home SwitchID, p *Port)
 
 	unknownDst uint64
 	unroutable uint64
@@ -351,6 +375,9 @@ func (g *GraphFabric) Attach(id NodeID, cfg AccessConfig, h Handler, rng *sim.RN
 	p := newPort(id, g.clock, cfg, &switchIngress{g: g, sw: sw}, h, rng, g.pool)
 	g.ports[id] = p
 	g.homes[id] = home
+	if g.onAttach != nil {
+		g.onAttach(id, home, p)
+	}
 	return p
 }
 
@@ -480,6 +507,18 @@ func (g *GraphFabric) computeRoutes(src SwitchID) {
 func (g *GraphFabric) routeFrom(sw *gswitch, f *Frame) {
 	dst, ok := g.ports[f.Dst]
 	if !ok {
+		if g.remoteHome != nil {
+			if home, remote := g.remoteHome(f.Dst); remote {
+				nh, routed := sw.next[home]
+				if !routed {
+					g.unroutable++
+					g.pool.Put(f)
+					return
+				}
+				sw.out[nh].Send(f)
+				return
+			}
+		}
 		g.unknownDst++
 		g.pool.Put(f)
 		return

@@ -185,6 +185,16 @@ type Link struct {
 	pool     *FramePool
 	terminal bool
 
+	// export, when set, makes this a shard-boundary egress: frames that
+	// survive serialization are handed to the sharded fabric at
+	// serialization end, stamped with the instant they would have been
+	// delivered (now + Delay, jitter-clamped), instead of entering the
+	// local propagation FIFO. The callback owns the frames for the
+	// duration of the call and must detach payloads it keeps — the
+	// propagation stage and delivery stats then happen on the importing
+	// shard, so LinkStats stay identical to local delivery.
+	export func(fs []*Frame, arrival sim.Time)
+
 	stats LinkStats
 
 	// OnDrop, if non-nil, observes every dropped frame (tail drop or
@@ -432,6 +442,31 @@ func (l *Link) scheduleDeliver() {
 	l.clock.At(at, l.deliverFn)
 }
 
+// setExport installs the shard-boundary export callback (see the export
+// field). Only the sharded fabric sets it, at construction, before any
+// traffic flows.
+func (l *Link) setExport(fn func(fs []*Frame, arrival sim.Time)) { l.export = fn }
+
+// exportArrival computes the delivery instant an exported frame or
+// train would have had locally: now + Delay, with the same monotone
+// jitter clamp scheduleDeliver applies, so a jittered boundary link
+// exports in delivery order.
+func (l *Link) exportArrival() sim.Time {
+	if l.jitter == nil && l.lastDeliverAt == 0 {
+		return l.clock.Now().Add(l.cfg.Delay)
+	}
+	extra := time.Duration(0)
+	if l.jitter != nil {
+		extra = l.jitter.Extra()
+	}
+	at := l.clock.Now().Add(l.cfg.Delay + extra)
+	if at.Before(l.lastDeliverAt) {
+		at = l.lastDeliverAt
+	}
+	l.lastDeliverAt = at
+	return at
+}
+
 // onTxDone runs when the serializer finishes a frame: the link head is
 // free for the next frame while this one propagates (or is lost).
 func (l *Link) onTxDone() {
@@ -451,6 +486,11 @@ func (l *Link) onTxDone() {
 			l.OnDrop(f, DropLoss)
 		}
 		l.pool.Put(f)
+	case l.export != nil:
+		l.deliverBuf = append(l.deliverBuf[:0], f)
+		l.export(l.deliverBuf, l.exportArrival())
+		l.deliverBuf[0] = nil
+		l.deliverBuf = l.deliverBuf[:0]
 	default:
 		l.inflight.push(f)
 		l.scheduleDeliver()
@@ -611,6 +651,7 @@ done:
 // schedules no delivery at all.
 func (l *Link) onTxDoneTrain() {
 	survived := 0
+	batch := l.deliverBuf[:0]
 	for i, f := range l.train {
 		lost := l.lossDraws()
 		switch {
@@ -626,6 +667,9 @@ func (l *Link) onTxDoneTrain() {
 				l.OnDrop(f, DropLoss)
 			}
 			l.pool.Put(f)
+		case l.export != nil:
+			batch = append(batch, f)
+			survived++
 		default:
 			l.inflight.push(f)
 			survived++
@@ -634,8 +678,18 @@ func (l *Link) onTxDoneTrain() {
 	}
 	l.train = l.train[:0]
 	if survived > 0 {
-		l.survivors.push(survived)
-		l.scheduleDeliver()
+		switch {
+		case l.export != nil:
+			l.deliverBuf = batch
+			l.export(batch, l.exportArrival())
+			for i := range batch {
+				batch[i] = nil
+			}
+			l.deliverBuf = l.deliverBuf[:0]
+		default:
+			l.survivors.push(survived)
+			l.scheduleDeliver()
+		}
 	}
 	l.transmitTrain()
 }

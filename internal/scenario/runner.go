@@ -52,26 +52,31 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One arena per worker: consecutive trials on this goroutine
-			// reuse the same clock event free list, cell/segment pools
-			// and object slabs, so only the first trial pays the full
-			// allocation bill. Determinism is unaffected — trial outputs
-			// are pure functions of their seeds, never of which worker's
-			// recycled memory they ran in.
-			ar := arena.New()
+			// One arena pool per worker: consecutive trials on this
+			// goroutine reuse the same clock event free lists,
+			// cell/segment pools and object slabs, so only the first
+			// trial pays the full allocation bill. A sharded trial draws
+			// one arena per shard from the pool. Determinism is
+			// unaffected — trial outputs are pure functions of their
+			// seeds, never of which worker's recycled memory they ran in.
+			pool := arenaPool{}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= trials {
 					return
 				}
 				rep, arm := i/len(sc.Arms), i%len(sc.Arms)
-				outs[i], nets[i], churns[i], resils[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep, ar)
+				want := 1
+				if sc.Shards > want {
+					want = sc.Shards
+				}
+				outs[i], nets[i], churns[i], resils[i], errs[i] = runTrial(sc, sc.Arms[arm], trialSeed(sc.Seed, rep), rep, pool.get(want))
 				if errs[i] != nil {
-					// A failed (possibly panicked) trial may leave the
+					// A failed (possibly panicked) trial may leave an
 					// arena's clock mid-run; start the next trial clean.
-					ar = arena.New()
+					pool = arenaPool{}
 				} else {
-					ar.ResetTrial()
+					pool.resetTrial()
 				}
 			}
 		}()
@@ -118,6 +123,29 @@ func (r Runner) Run(sc Scenario) (*Result, error) {
 // Run executes the scenario with a default Runner (one worker per CPU).
 func Run(sc Scenario) (*Result, error) { return Runner{}.Run(sc) }
 
+// arenaPool hands a worker goroutine as many trial arenas as its next
+// trial needs, growing on demand and recycling all of them between
+// trials.
+type arenaPool struct {
+	arenas []*arena.Arena
+}
+
+// get returns at least n arenas (the same slice header is reused, so
+// callers must not retain it past the trial).
+func (p *arenaPool) get(n int) []*arena.Arena {
+	for len(p.arenas) < n {
+		p.arenas = append(p.arenas, arena.New())
+	}
+	return p.arenas[:n]
+}
+
+// resetTrial rewinds every pooled arena for the next trial.
+func (p *arenaPool) resetTrial() {
+	for _, ar := range p.arenas {
+		ar.ResetTrial()
+	}
+}
+
 // trialSeed derives replication r's seed substream. Replication 0 uses
 // the scenario seed itself, so a single-replication scenario reproduces
 // the legacy entry points' outputs exactly.
@@ -133,15 +161,22 @@ func trialSeed(seed int64, rep int) int64 {
 // runTrial executes one (arm, replication) pair on its own network. A
 // panic in the simulator is converted into an error so one bad trial
 // fails the run cleanly instead of killing the worker pool. Scenarios
-// with churn run the dynamic-lifecycle engine; everything else takes
-// the original static path, unchanged byte for byte.
-func runTrial(sc Scenario, arm Arm, seed int64, rep int, ar *arena.Arena) (out []CircuitOutcome, net NetStats, churn ChurnStats, resil ResilienceStats, err error) {
+// with Shards > 0 run on the sharded conservative-lookahead engine;
+// scenarios with churn run the dynamic-lifecycle engine; everything
+// else takes the original static path, unchanged byte for byte.
+func runTrial(sc Scenario, arm Arm, seed int64, rep int, ars []*arena.Arena) (out []CircuitOutcome, net NetStats, churn ChurnStats, resil ResilienceStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("scenario: arm %q rep %d panicked: %v", arm.Name, rep, p)
 		}
 	}()
+	var ar *arena.Arena
+	if len(ars) > 0 {
+		ar = ars[0]
+	}
 	switch {
+	case sc.Shards > 0:
+		out, net, churn, resil, err = runSharded(sc, arm, seed, rep, ars)
 	case sc.hasChurn():
 		out, net, churn, resil, err = runChurn(sc, arm, seed, rep, ar)
 	case sc.Topology.Population != nil:

@@ -207,6 +207,17 @@ type Scenario struct {
 	// back-to-back queued cells into single link events, trading event
 	// count for coarser link interleaving (see netem.LinkConfig).
 	TrainSize int
+	// Shards, when positive, runs every trial on the sharded
+	// conservative-lookahead engine: the Fabric is partitioned into at
+	// most Shards shards (netem.PartitionGraph), each advancing on its
+	// own clock and goroutine, coupled only through cut-trunk handoffs.
+	// Results are byte-identical for ANY positive value — Shards = 1 is
+	// the reference single-shard engine and larger counts must reproduce
+	// it exactly — but not to the Shards = 0 single-clock engine, whose
+	// control-plane timing (early stop, teardown instants) differs.
+	// Requires a Fabric topology; see validateSharded for the features
+	// the sharded engine rejects.
+	Shards int
 	// Probes selects instrumentation.
 	Probes Probes
 }
@@ -358,7 +369,53 @@ func (sc *Scenario) validate() error {
 	if sc.Circuits.Count <= 0 {
 		return fmt.Errorf("scenario: %d circuits", sc.Circuits.Count)
 	}
-	return sc.validateChurn()
+	if err := sc.validateChurn(); err != nil {
+		return err
+	}
+	return sc.validateSharded()
+}
+
+// validateSharded checks the fields a sharded (Shards > 0) scenario may
+// use. The rejections all protect the byte-identical-at-any-shard-count
+// contract: random link loss consumes a shared per-shard RNG stream in
+// partition-dependent order; link events, resource limits and
+// suspect-driven recovery mutate state across shards mid-window, which
+// only the barrier may do.
+func (sc *Scenario) validateSharded() error {
+	if sc.Shards == 0 {
+		return nil
+	}
+	if sc.Shards < 0 {
+		return fmt.Errorf("scenario: %d shards", sc.Shards)
+	}
+	if sc.Topology.Fabric == nil {
+		return fmt.Errorf("scenario: sharded execution needs a routed Fabric topology to partition")
+	}
+	for i, t := range sc.Topology.Fabric.Trunks {
+		if t.Config.LossProb != 0 {
+			return fmt.Errorf("scenario: sharded execution cannot use random trunk loss (trunk %d); use a Faults burst-loss plan", i)
+		}
+	}
+	if sc.ClientAccess.LossProb != 0 {
+		return fmt.Errorf("scenario: sharded execution cannot use random client-access loss; use a Faults burst-loss plan")
+	}
+	for i, r := range sc.Topology.Relays {
+		if r.Access.LossProb != 0 {
+			return fmt.Errorf("scenario: sharded execution cannot use random access loss (relay %d, %q); use a Faults burst-loss plan", i, r.ID)
+		}
+	}
+	if len(sc.Events) > 0 {
+		return fmt.Errorf("scenario: link events are not supported on the sharded engine")
+	}
+	for i, a := range sc.Arms {
+		if a.Relay.Limits.Enabled() {
+			return fmt.Errorf("scenario: arm %d (%q) sets resource limits, which the sharded engine does not support", i, a.Name)
+		}
+	}
+	if sc.Faults.Recovery.Enabled {
+		return fmt.Errorf("scenario: endpoint recovery is not supported on the sharded engine")
+	}
+	return nil
 }
 
 // RelayIDs returns the topology's relay IDs in deterministic order —

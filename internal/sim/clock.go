@@ -73,13 +73,14 @@ func (t Time) String() string { return time.Duration(t).String() }
 // generation counter invalidates any Handle still pointing at a recycled
 // event.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO for equal timestamps
-	fn  func()
-	idx int32  // heap index, -1 when not queued
-	gen uint64 // bumped on recycle; Handles capture the value they saw
-	clk *Clock // owning clock, for Handle.Cancel
-	nxt *event // free-list link
+	at     Time
+	origin Time   // virtual instant the scheduling call was made
+	seq    uint64 // tie-breaker: FIFO for equal (at, origin)
+	fn     func()
+	idx    int32  // heap index, -1 when not queued
+	gen    uint64 // bumped on recycle; Handles capture the value they saw
+	clk    *Clock // owning clock, for Handle.Cancel
+	nxt    *event // free-list link
 }
 
 // heapSlot is one heap entry: the event's sort key inlined next to its
@@ -88,16 +89,28 @@ type event struct {
 // a scattered *event per comparison — on transfer-heavy runs the heap
 // is the single hottest structure and those misses dominated it.
 type heapSlot struct {
-	at  Time
-	seq uint64
-	ev  *event
+	at     Time
+	origin Time
+	seq    uint64
+	ev     *event
 }
 
-// slotLess orders entries by (at, seq) — earliest instant first, FIFO
-// within an instant.
+// slotLess orders entries by (at, origin, seq) — earliest instant
+// first, then earliest scheduling instant, FIFO within both. For
+// events scheduled by the clock's own execution the origin is the
+// current time, so origin order and seq order always agree and the key
+// degenerates to the classic (at, seq) FIFO — byte-identical to the
+// pre-origin engine. The origin field exists for the sharded engine:
+// a handoff imported at a barrier is scheduled with the origin it had
+// on its source shard (its serialization end), which slots it among
+// equal-instant events exactly where the single-clock engine would
+// have put it.
 func slotLess(a, b heapSlot) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
 	}
 	return a.seq < b.seq
 }
@@ -133,6 +146,18 @@ func (c *Clock) Processed() uint64 { return c.processed }
 // events are removed from the queue immediately, so the count is exact —
 // long transport runs that cancel many RTO timers do not inflate it.
 func (c *Clock) Pending() int { return len(c.queue) }
+
+// Next returns the instant of the earliest pending event and whether
+// one exists. The sharded engine uses it as the horizon probe: a shard
+// whose next event lies beyond the window end is idle for that window,
+// and a trial whose shards are all idle (with empty boundary queues)
+// has quiesced and may stop at the barrier.
+func (c *Clock) Next() (Time, bool) {
+	if len(c.queue) == 0 {
+		return 0, false
+	}
+	return c.queue[0].at, true
+}
 
 // Handle identifies a scheduled event and allows cancelling it. The zero
 // Handle is inert: Cancel and Active return false.
@@ -201,8 +226,30 @@ func (c *Clock) At(t Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
+	return c.schedule(t, c.now, fn)
+}
+
+// AtOrigin schedules fn at the absolute instant t with an explicit
+// origin for equal-instant ordering (see slotLess). origin must not
+// exceed t. It exists for the sharded engine's barrier imports; all
+// other callers want At, whose origin is the current instant.
+func (c *Clock) AtOrigin(t, origin Time, fn func()) Handle {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, c.now))
+	}
+	if origin > t {
+		panic(fmt.Sprintf("sim: event origin %v after its instant %v", origin, t))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	return c.schedule(t, origin, fn)
+}
+
+func (c *Clock) schedule(t, origin Time, fn func()) Handle {
 	ev := c.alloc()
 	ev.at = t
+	ev.origin = origin
 	ev.seq = c.seq
 	ev.fn = fn
 	c.seq++
@@ -227,6 +274,7 @@ func (c *Clock) reschedule(ev *event, t Time) {
 		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, c.now))
 	}
 	ev.at = t
+	ev.origin = c.now
 	ev.seq = c.seq
 	c.seq++
 	c.heapFix(ev)
@@ -320,7 +368,7 @@ func (c *Clock) Step() bool {
 
 func (c *Clock) heapPush(ev *event) {
 	ev.idx = int32(len(c.queue))
-	c.queue = append(c.queue, heapSlot{at: ev.at, seq: ev.seq, ev: ev})
+	c.queue = append(c.queue, heapSlot{at: ev.at, origin: ev.origin, seq: ev.seq, ev: ev})
 	c.heapUp(int(ev.idx))
 }
 
@@ -360,6 +408,7 @@ func (c *Clock) heapRemove(ev *event) {
 func (c *Clock) heapFix(ev *event) {
 	i := int(ev.idx)
 	c.queue[i].at = ev.at
+	c.queue[i].origin = ev.origin
 	c.queue[i].seq = ev.seq
 	c.heapDown(i)
 	c.heapUp(int(ev.idx))

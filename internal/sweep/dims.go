@@ -312,6 +312,30 @@ func DimTrainSize(sizes ...int) (Dimension, error) {
 	return d, nil
 }
 
+// DimShards returns a dimension sweeping the trial-internal shard
+// count on the conservative-lookahead parallel engine. Count 0 is the
+// single-clock engine; every count ≥ 1 is byte-identical to count 1,
+// so a sweep over {1, n} measures what sharding does to the simulated
+// outcomes (it must be nothing) and to wall-clock runtime. Counts ≥ 1
+// need a routed Fabric topology with loss-free trunks.
+func DimShards(counts ...int) (Dimension, error) {
+	d := Dimension{Name: "shards"}
+	for _, n := range counts {
+		n := n
+		if n < 0 {
+			return Dimension{}, fmt.Errorf("sweep: negative shard count %d", n)
+		}
+		d.Values = append(d.Values, Value{
+			Label: fmt.Sprintf("%d", n),
+			Apply: func(sc *scenario.Scenario) error {
+				sc.Shards = n
+				return nil
+			},
+		})
+	}
+	return d, nil
+}
+
 // DimFaults returns a dimension sweeping named fault presets (see
 // faults.PresetNames; "none" is the fault-free control). Preset names
 // are validated eagerly; the preset itself is rendered at apply time
