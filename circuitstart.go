@@ -130,6 +130,25 @@
 // AblationFaults compares startup policies under an identical fault
 // schedule ('circuitsim ablation -name faults' and examples/faults;
 // 'circuitsim scenario/sweep -faults' applies presets or JSON specs).
+//
+// # Sweep service and spec API
+//
+// Everything submittable to the sweep engine has one versioned JSON
+// wire form (SpecFile, schema version 1): a base scenario, dimension
+// axes, sampling — validated eagerly with unknown fields rejected and
+// the offending entry named. ParseSpec and MarshalSpec are a canonical
+// codec (Marshal ∘ Parse is a fixed point, so specs diff and hash
+// stably), SpecFromScenario renders a population Scenario back into a
+// spec, and the same schema drives three front doors: `circuitsim
+// sweep` flags, `circuitsim sweep -spec` files, and the `circuitsim
+// serve` daemon (ServeSweeps / NewSweepServer), whose HTTP API streams
+// per-grid-point rows live with bytes identical to the batch sinks and
+// caches completed points by content hash — resubmitting an
+// overlapping grid replays the shared points byte-identically and
+// computes only the delta. Transfer-size workloads extend beyond a
+// scalar with SizeDist (fixed, lognormal, bounded-Pareto; SweepSizeDists
+// sweeps distributions as a grid axis), seeded deterministically from
+// the scenario seed. See DESIGN.md's "Sweep service & spec schema".
 package circuitstart
 
 import (
@@ -142,7 +161,9 @@ import (
 	"circuitstart/internal/relay"
 	"circuitstart/internal/resource"
 	"circuitstart/internal/scenario"
+	"circuitstart/internal/serve"
 	"circuitstart/internal/sim"
+	"circuitstart/internal/spec"
 	"circuitstart/internal/sweep"
 	"circuitstart/internal/transport"
 	"circuitstart/internal/units"
@@ -380,10 +401,63 @@ var (
 	// conservative-lookahead parallel engine (byte-identical results,
 	// wall-clock only).
 	SweepShards = sweep.DimShards
+	// SweepSizeDists sweeps the per-circuit transfer-size distribution
+	// ("fixed:N", "lognormal:median:sigma", "pareto:min:alpha:max").
+	SweepSizeDists = sweep.DimSizeDist
 	// NewSweepCSVSink streams sweep rows as CSV.
 	NewSweepCSVSink = sweep.NewCSVSink
 	// NewSweepJSONLSink streams sweep rows as JSON lines.
 	NewSweepJSONLSink = sweep.NewJSONLSink
+)
+
+// ErrSweepStopped is returned by SweepEngine.Run when its Stop hook
+// tripped mid-grid: the rows emitted before the stop are a valid
+// grid-order prefix.
+var ErrSweepStopped = sweep.ErrStopped
+
+// Sweep service daemon and versioned spec schema. See the package
+// comment's "Sweep service and spec API" section.
+type (
+	// SpecFile is the versioned JSON wire form of a sweep submission:
+	// base scenario, dimension axes, sampling. `circuitsim sweep -spec`
+	// files, the sweep CLI's flag grids, and the serve daemon's POST
+	// bodies all parse into it.
+	SpecFile = spec.File
+	// SpecBase is a spec's base-scenario block.
+	SpecBase = spec.Base
+	// SpecDim is one dimension block of a spec (exactly one axis set).
+	SpecDim = spec.Dim
+	// SpecPopulation overrides the generated relay population's shape
+	// within a SpecBase.
+	SpecPopulation = spec.Population
+	// ServeOptions configures the sweep service daemon.
+	ServeOptions = serve.Options
+	// SweepServer is the daemon state behind the HTTP handler.
+	SweepServer = serve.Server
+	// SizeDist draws per-circuit transfer sizes from a distribution
+	// (fixed, lognormal, bounded-Pareto), seeded by the scenario seed.
+	SizeDist = workload.SizeDist
+)
+
+var (
+	// ParseSpec parses and validates a versioned sweep spec, naming
+	// the offending entry on error.
+	ParseSpec = spec.Parse
+	// MarshalSpec renders a spec in canonical form — the fixed point
+	// of Marshal ∘ Parse, safe to diff and hash.
+	MarshalSpec = spec.Marshal
+	// SpecFromScenario renders a population Scenario back into a spec
+	// base, refusing (by name) anything the wire schema cannot express.
+	SpecFromScenario = spec.FromScenario
+	// NewSweepServer starts a sweep service (job executors + point
+	// cache) and returns it; pair with (*Server).Handler and Close.
+	NewSweepServer = serve.NewServer
+	// ServeSweeps runs the sweep service daemon on an address —
+	// `circuitsim serve` in library form.
+	ServeSweeps = serve.ListenAndServe
+	// ParseSizeDist parses "fixed:N", "lognormal:median:sigma" or
+	// "pareto:min:alpha:max" into a SizeDist.
+	ParseSizeDist = workload.ParseSizeDist
 )
 
 // Backbone trunk meshes for BackboneParams.Kind.

@@ -51,6 +51,8 @@ var commands = []command{
 	{"dynamic", "capacity-step extension (future-work experiment)", runDynamic},
 	{"scenario", "declarative multi-arm sweep on the parallel runner", runScenario},
 	{"sweep", "parameter-grid engine: dimensions × base scenario, streamed to CSV/JSONL", runSweep},
+	{"serve", "sweep service daemon: the grid engine behind the versioned spec API", runServe},
+	{"spec", "validate and canonicalize a sweep spec file", runSpecCmd},
 	{"bench", "headline microbenchmarks; -json snapshots BENCH_<n>.json", runBench},
 }
 

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"circuitstart/internal/serve"
+)
+
+// TestRunSweepRemoteMatchesLocal pins the acceptance contract at the
+// CLI surface: `sweep -remote` against a serve daemon writes the same
+// row bytes as the in-process `sweep` for the same grid — and a second
+// remote run replays the daemon's cache, still byte-identically.
+func TestRunSweepRemoteMatchesLocal(t *testing.T) {
+	s := serve.NewServer(serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	dir := t.TempDir()
+	local, remote, replay := filepath.Join(dir, "local.csv"), filepath.Join(dir, "remote.csv"), filepath.Join(dir, "replay.csv")
+	grid := []string{"-gammas", "2,4", "-bandwidths", "8,16"}
+
+	if err := runSweep(append([]string{"-out", local}, grid...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append([]string{"-remote", ts.URL, "-out", remote}, grid...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append([]string{"-remote", ts.URL, "-out", replay}, grid...)); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("remote rows differ from local:\n--- remote ---\n%s--- local ---\n%s", got, want)
+	}
+	rep, err := os.ReadFile(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep) != string(want) {
+		t.Fatalf("cache-replayed rows differ from local:\n--- replay ---\n%s--- local ---\n%s", rep, want)
+	}
+}
+
+// TestRunSweepRemoteRejects checks the client-side error paths.
+func TestRunSweepRemoteRejects(t *testing.T) {
+	if err := runSweep([]string{"-remote", "127.0.0.1:1", "-resume", "2", "-gammas", "2"}); err == nil {
+		t.Error("-remote with -resume accepted")
+	}
+	if err := runSweep([]string{"-remote", "127.0.0.1:1", "-gammas", "2"}); err == nil {
+		t.Error("unreachable daemon reported success")
+	}
+}

@@ -1,8 +1,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -11,24 +9,60 @@ import (
 	"strings"
 	"time"
 
-	"circuitstart/internal/core"
-	"circuitstart/internal/experiments"
-	"circuitstart/internal/faults"
-	"circuitstart/internal/netem"
-	"circuitstart/internal/scenario"
-	"circuitstart/internal/sim"
+	"circuitstart/internal/spec"
 	"circuitstart/internal/sweep"
-	"circuitstart/internal/units"
-	"circuitstart/internal/workload"
 )
+
+// dimFlagDefs declares the sweep CLI's dimension flags. Each flag name
+// must match its spec.Dim JSON field modulo unit suffixes — the drift
+// test (TestSweepFlagsMatchSpecFields) enforces the bijection, so the
+// CLI and the wire schema cannot wander apart.
+var dimFlagDefs = []struct {
+	flag  string // CLI flag name
+	field string // spec.Dim JSON field it fills
+	usage string
+}{
+	{"policies", "policies", "dimension: startup policies (comma-separated)"},
+	{"hopcounts", "hopcounts", "dimension: relays per circuit (comma-separated)"},
+	{"bandwidths", "bandwidths_mbps", "dimension: bottleneck access rate [Mbit/s] (trace) or population median (population)"},
+	{"gammas", "gammas", "dimension: γ exit thresholds (comma-separated)"},
+	{"sizes", "sizes_bytes", "dimension: transfer sizes [bytes] (comma-separated)"},
+	{"sizedists", "size_dists", "dimension: transfer-size distributions (comma-separated; e.g. lognormal:500000:0.8)"},
+	{"counts", "counts", "dimension: concurrent circuit counts (comma-separated)"},
+	{"trains", "trains", "dimension: cell-train coalescing caps (comma-separated; ≤1 = untrained)"},
+	{"shardcounts", "shardcounts", "dimension: trial shard counts (comma-separated; needs -switches)"},
+	{"faults", "faults", "dimension: fault presets (comma-separated)"},
+	{"schedulers", "schedulers", "dimension: relay circuit schedulers (comma-separated; fifo, ewma)"},
+	{"seeds", "seeds", "dimension: independent base seeds (comma-separated)"},
+}
+
+// baseFlagFields maps each base flag to the spec.Base JSON field it
+// fills — the drift test walks this table too.
+var baseFlagFields = map[string]string{
+	"base":     "kind",
+	"seed":     "", // File.Seed, not a base field
+	"arms":     "arms",
+	"hops":     "hops",
+	"distance": "distance",
+	"relays":   "relays",
+	"circuits": "circuits",
+	"switches": "switches",
+	"size":     "size_bytes",
+	"sizedist": "size_dist",
+	"download": "download",
+	"horizon":  "horizon_sec",
+	"spread":   "spread_ms",
+}
 
 // runSweep drives the declarative grid engine from the command line: a
 // base scenario (the single-circuit trace topology or a generated
 // relay population) crossed with the dimension flags, or an arbitrary
-// grid from a JSON spec file. Per-point rows stream to -out (CSV or
-// JSON lines, by extension); the in-memory table's summary prints to
+// grid from a versioned spec file (internal/spec — the same schema the
+// serve daemon accepts). Per-point rows stream to -out (CSV or JSON
+// lines, by extension); the in-memory table's summary prints to
 // stdout. Grid order — and therefore the output bytes — is identical
-// for any -workers value.
+// for any -workers value. With -remote the sweep executes on a
+// `circuitsim serve` daemon instead, with byte-identical outputs.
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	specPath := fs.String("spec", "", "JSON grid spec file (overrides the flag-built grid; see DESIGN.md)")
@@ -41,75 +75,67 @@ func runSweep(args []string) error {
 	circuits := fs.Int("circuits", 50, "concurrent circuits (population base)")
 	switches := fs.Int("switches", 0, "home the population behind a backbone ring of this many switches (population base; 0 = star)")
 	size := fs.Int64("size", 500_000, "transfer size per circuit [bytes] (population base)")
+	sizeDist := fs.String("sizedist", "", "transfer-size distribution (population base; overrides -size; e.g. pareto:100000:1.2:10000000)")
+	download := fs.Bool("download", false, "run transfers server → client through the onion (population base)")
 	horizon := fs.Duration("horizon", 600*time.Second, "per-trial virtual time bound (population base)")
 	spread := fs.Duration("spread", 200*time.Millisecond, "uniform start stagger window (population base)")
-	gammas := fs.String("gammas", "", "dimension: γ exit thresholds (comma-separated)")
-	policies := fs.String("policies", "", "dimension: startup policies (comma-separated)")
-	bandwidths := fs.String("bandwidths", "", "dimension: bottleneck access rate [Mbit/s] (trace) or population median (population)")
-	hopCounts := fs.String("hopcounts", "", "dimension: relays per circuit (comma-separated)")
-	sizes := fs.String("sizes", "", "dimension: transfer sizes [bytes] (comma-separated)")
-	counts := fs.String("counts", "", "dimension: concurrent circuit counts (comma-separated)")
-	trains := fs.String("trains", "", "dimension: cell-train coalescing caps (comma-separated; ≤1 = untrained)")
-	shardCounts := fs.String("shardcounts", "", "dimension: trial shard counts (comma-separated; needs -switches)")
-	faultNames := fs.String("faults", "", "dimension: fault presets (comma-separated; "+strings.Join(faults.PresetNames(), ", ")+")")
+	dimFlags := make([]*string, len(dimFlagDefs))
+	for i, def := range dimFlagDefs {
+		dimFlags[i] = fs.String(def.flag, "", def.usage)
+	}
 	sample := fs.Int("sample", 0, "cap the grid to a seeded sample of this many points (0 = full)")
 	resume := fs.Int("resume", 0, "skip grid points with index below this (append to a prior -out)")
 	workers := fs.Int("workers", 0, "concurrent grid points (0 = one per CPU)")
 	pointWorkers := fs.Int("point-workers", 0, "worker pool per point's runner (0 = 1)")
+	remote := fs.String("remote", "", "run on a circuitsim serve daemon at this base URL instead of in-process")
 	outPath := fs.String("out", "", "stream per-point rows to this file (.csv or .jsonl)")
 	format := fs.String("format", "", "output format: csv | jsonl (default: by -out extension)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var sw sweep.Sweep
+	var file *spec.File
 	var err error
 	if *specPath != "" {
 		data, rerr := os.ReadFile(*specPath)
 		if rerr != nil {
 			return rerr
 		}
-		sw, err = parseSweepSpec(data)
+		file, err = spec.Parse(data)
 	} else {
-		cfg := sweepConfig{
-			name: "cli-sweep", kind: *base, seed: *seed, arms: splitList(*arms),
-			hops: *hops, distance: *distance,
-			relays: *relays, circuits: *circuits, switches: *switches, size: *size,
-			horizon: *horizon, spread: *spread,
-			sample: *sample,
-		}
-		for _, d := range []struct {
-			kind, raw string
-		}{
-			{"policy", *policies},
-			{"hops", *hopCounts},
-			{"bandwidth", *bandwidths},
-			{"gamma", *gammas},
-			{"size", *sizes},
-			{"count", *counts},
-			{"train", *trains},
-			{"shards", *shardCounts},
-			{"faults", *faultNames},
-		} {
-			if d.raw != "" {
-				cfg.dims = append(cfg.dims, dimRequest{kind: d.kind, raw: splitList(d.raw)})
-			}
-		}
-		sw, err = cfg.build()
+		file, err = specFromFlags(fs, *base, *seed, splitList(*arms), *hops, *distance,
+			*relays, *circuits, *switches, *size, *sizeDist, *download,
+			*horizon, *spread, *sample, dimFlags)
 	}
 	if err != nil {
 		return err
 	}
 
-	var sinks []sweep.Sink
+	fmtName := ""
 	if *outPath != "" {
-		fmtName := pickFormat(*format, *outPath)
+		fmtName = pickFormat(*format, *outPath)
 		if fmtName != "csv" && fmtName != "jsonl" {
 			if *format != "" {
 				return fmt.Errorf("unknown -format %q (want csv or jsonl)", *format)
 			}
 			return fmt.Errorf("cannot infer output format from %q; pass -format csv|jsonl", *outPath)
 		}
+	}
+
+	if *remote != "" {
+		if *resume > 0 {
+			return fmt.Errorf("-resume is local-only (the daemon's point cache already skips completed points)")
+		}
+		return runSweepRemote(*remote, file, *outPath, fmtName)
+	}
+
+	sw, err := file.Sweep()
+	if err != nil {
+		return err
+	}
+
+	var sinks []sweep.Sink
+	if *outPath != "" {
 		// Resuming into an existing file appends the remaining rows
 		// after the completed prefix (no second header); everything
 		// else starts a fresh file.
@@ -146,12 +172,7 @@ func runSweep(args []string) error {
 		return err
 	}
 
-	fmt.Printf("sweep %s: %d points over %d dimensions (full grid %d)\n",
-		sw.Name, tbl.Meta.Points, len(tbl.Meta.Dimensions), tbl.Meta.GridSize)
-	if err := tbl.WriteText(os.Stdout); err != nil {
-		return err
-	}
-	if err := tbl.WriteMarginals(os.Stdout); err != nil {
+	if err := tbl.WriteSummary(os.Stdout); err != nil {
 		return err
 	}
 	if *outPath != "" {
@@ -160,398 +181,109 @@ func runSweep(args []string) error {
 	return nil
 }
 
-// sweepConfig is the flag- or spec-level grid description before it is
-// rendered into a sweep.Sweep.
-type sweepConfig struct {
-	name            string
-	kind            string
-	seed            int64
-	arms            []string
-	hops, distance  int
-	relays          int
-	circuits        int
-	switches        int
-	size            int64
-	horizon, spread time.Duration
-	sample          int
-	sampleSeed      int64
-	dims            []dimRequest
-}
+// specFromFlags renders the flag-built grid into the same spec.File a
+// spec file or HTTP body parses to — one code path from either front
+// door to the engine. Flags the user left at their default are omitted
+// when they don't apply to the base kind, so `-base trace` doesn't
+// trip the population-field validation.
+func specFromFlags(fs *flag.FlagSet, kind string, seed int64, arms []string,
+	hops, distance, relays, circuits, switches int, size int64, sizeDist string,
+	download bool, horizon, spread time.Duration, sample int, dimFlags []*string) (*spec.File, error) {
 
-// dimRequest is one requested axis, still in string form.
-type dimRequest struct {
-	kind string
-	raw  []string
-}
-
-// build renders the config into an executable Sweep.
-func (c sweepConfig) build() (sweep.Sweep, error) {
-	if len(c.arms) == 0 {
-		return sweep.Sweep{}, fmt.Errorf("sweep: no base arms")
-	}
-	armSpecs := make([]scenario.Arm, len(c.arms))
-	for i, policy := range c.arms {
-		armSpecs[i] = scenario.Arm{Name: policy, Transport: core.TransportOptions{Policy: policy}}
+	changed := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { changed[f.Name] = true })
+	if changed["arms"] && len(arms) == 0 {
+		return nil, fmt.Errorf("sweep: -arms named no policies")
 	}
 
-	var baseSc scenario.Scenario
-	var traceParams experiments.CwndTraceParams
-	switch c.kind {
-	case "trace":
-		traceParams = experiments.DefaultCwndTraceParams(c.distance)
-		traceParams.Seed = c.seed
-		traceParams.Hops = c.hops
-		if c.distance < 1 || c.distance > c.hops {
-			return sweep.Sweep{}, fmt.Errorf("sweep: bottleneck distance %d outside 1..%d", c.distance, c.hops)
-		}
-		baseSc = traceParams.Scenario(armSpecs)
+	f := &spec.File{
+		Version: spec.Version,
+		Name:    "cli-sweep",
+		Seed:    &seed,
+		Base:    spec.Base{Kind: kind, Arms: arms, Hops: hops},
+		Sample:  sample,
+	}
+	switch kind {
 	case "population":
-		pop := workload.DefaultRelayParams(c.relays)
-		arrival := scenario.Arrival{}
-		if c.spread > 0 {
-			arrival = scenario.Arrival{Kind: scenario.ArriveUniform, Spread: c.spread}
+		f.Base.Relays = relays
+		f.Base.Circuits = circuits
+		f.Base.Switches = switches
+		f.Base.Download = download
+		f.Base.HorizonSec = horizon.Seconds()
+		spreadMs := float64(spread) / float64(time.Millisecond)
+		f.Base.SpreadMs = &spreadMs
+		if sizeDist != "" {
+			f.Base.SizeDist = sizeDist
+		} else {
+			f.Base.SizeBytes = size
 		}
-		topo := scenario.Topology{Population: &pop}
-		if c.switches > 0 {
-			spec, err := workload.GenerateBackbone(workload.DefaultBackboneParams(c.relays, c.switches))
-			if err != nil {
-				return sweep.Sweep{}, fmt.Errorf("sweep: %w", err)
+	default:
+		// The trace base rejects population fields by name; only carry
+		// the ones the user actually set, so defaults don't trip it.
+		f.Base.Distance = distance
+		for _, flagName := range []string{"relays", "circuits", "switches", "size", "sizedist", "download", "spread"} {
+			if changed[flagName] {
+				return nil, fmt.Errorf("sweep: -%s applies only to -base population", flagName)
 			}
-			topo.Fabric = &spec
 		}
-		baseSc = scenario.Scenario{
-			Name:     c.name,
-			Seed:     c.seed,
-			Topology: topo,
-			Circuits: scenario.CircuitSet{
-				Count:        c.circuits,
-				Hops:         c.hops,
-				TransferSize: units.DataSize(c.size),
-				Arrival:      arrival,
-			},
-			Arms:    armSpecs,
-			Horizon: sim.Time(c.horizon),
+		if changed["horizon"] {
+			f.Base.HorizonSec = horizon.Seconds()
 		}
-	default:
-		return sweep.Sweep{}, fmt.Errorf("sweep: unknown base %q (want trace or population)", c.kind)
 	}
 
-	sw := sweep.Sweep{Name: c.name, Base: baseSc, Sample: c.sample, SampleSeed: c.sampleSeed}
-	for _, d := range c.dims {
-		dim, err := c.buildDim(d, traceParams)
+	for i, def := range dimFlagDefs {
+		raw := splitList(*dimFlags[i])
+		if len(raw) == 0 {
+			continue
+		}
+		var d spec.Dim
+		var err error
+		switch def.field {
+		case "gammas":
+			d.Gammas, err = parseFloats(raw)
+		case "policies":
+			d.Policies = raw
+		case "bandwidths_mbps":
+			d.BandwidthsMbps, err = parseFloats(raw)
+		case "hopcounts":
+			d.HopCounts, err = parseInts(raw)
+		case "sizes_bytes":
+			d.SizesBytes, err = parseInt64s(raw)
+		case "size_dists":
+			d.SizeDists = raw
+		case "counts":
+			d.Counts, err = parseInts(raw)
+		case "trains":
+			d.Trains, err = parseInts(raw)
+		case "shardcounts":
+			d.ShardCounts, err = parseInts(raw)
+		case "faults":
+			d.Faults = raw
+		case "schedulers":
+			d.Schedulers = raw
+		case "seeds":
+			d.Seeds, err = parseInt64s(raw)
+		}
 		if err != nil {
-			return sweep.Sweep{}, err
+			return nil, fmt.Errorf("sweep: -%s: %w", def.flag, err)
 		}
-		sw.Dimensions = append(sw.Dimensions, dim)
+		f.Dimensions = append(f.Dimensions, d)
 	}
-	if len(sw.Dimensions) == 0 {
-		return sweep.Sweep{}, fmt.Errorf("sweep: no dimensions (pass at least one of -gammas, -policies, -bandwidths, -hopcounts, -sizes, -counts, -trains, -shardcounts, -faults, or a -spec file)")
+	if len(f.Dimensions) == 0 {
+		names := make([]string, len(dimFlagDefs))
+		for i, def := range dimFlagDefs {
+			names[i] = "-" + def.flag
+		}
+		return nil, fmt.Errorf("sweep: no dimensions (pass at least one of %s, or a -spec file)", strings.Join(names, ", "))
 	}
-	return sw, nil
-}
 
-// buildDim renders one axis request into a sweep.Dimension.
-func (c sweepConfig) buildDim(d dimRequest, traceParams experiments.CwndTraceParams) (sweep.Dimension, error) {
-	if len(d.raw) == 0 {
-		return sweep.Dimension{}, fmt.Errorf("sweep: %s axis has no values", d.kind)
+	// Round-trip through the canonical codec: the flag grid gets the
+	// identical validation and defaults a spec file or HTTP body gets.
+	data, err := spec.Marshal(f)
+	if err != nil {
+		return nil, err
 	}
-	switch d.kind {
-	case "gamma":
-		vals, err := parseFloats(d.raw)
-		if err != nil {
-			return sweep.Dimension{}, fmt.Errorf("sweep: -gammas: %w", err)
-		}
-		return sweep.Gamma(vals...), nil
-	case "policy":
-		return sweep.Policies(d.raw...)
-	case "bandwidth":
-		mbps, err := parseFloats(d.raw)
-		if err != nil {
-			return sweep.Dimension{}, fmt.Errorf("sweep: -bandwidths: %w", err)
-		}
-		rates := make([]units.DataRate, len(mbps))
-		for i, m := range mbps {
-			rates[i] = units.Mbps(m)
-		}
-		if c.kind == "trace" {
-			return traceBandwidthDim(c.distance, rates), nil
-		}
-		return sweep.PopulationBandwidths(rates...), nil
-	case "hops":
-		ns, err := parseInts(d.raw)
-		if err != nil {
-			return sweep.Dimension{}, fmt.Errorf("sweep: -hopcounts: %w", err)
-		}
-		if c.kind == "trace" {
-			return traceHopsDim(traceParams, ns), nil
-		}
-		return sweep.Hops(ns...), nil
-	case "size":
-		ns, err := parseInts(d.raw)
-		if err != nil {
-			return sweep.Dimension{}, fmt.Errorf("sweep: -sizes: %w", err)
-		}
-		sizes := make([]units.DataSize, len(ns))
-		for i, n := range ns {
-			sizes[i] = units.DataSize(n)
-		}
-		return sweep.TransferSizes(sizes...), nil
-	case "count":
-		ns, err := parseInts(d.raw)
-		if err != nil {
-			return sweep.Dimension{}, fmt.Errorf("sweep: -counts: %w", err)
-		}
-		return sweep.Circuits(ns...), nil
-	case "train":
-		ns, err := parseInts(d.raw)
-		if err != nil {
-			return sweep.Dimension{}, fmt.Errorf("sweep: -trains: %w", err)
-		}
-		return sweep.DimTrainSize(ns...)
-	case "shards":
-		ns, err := parseInts(d.raw)
-		if err != nil {
-			return sweep.Dimension{}, fmt.Errorf("sweep: -shardcounts: %w", err)
-		}
-		return sweep.DimShards(ns...)
-	case "faults":
-		return sweep.DimFaults(d.raw...)
-	default:
-		return sweep.Dimension{}, fmt.Errorf("sweep: unknown axis %q", d.kind)
-	}
-}
-
-// traceBandwidthDim sweeps the trace base's bottleneck access rate.
-// The bottleneck sits at the base distance, clamped to the current
-// path length — so it keeps targeting the relay traceHopsDim put the
-// bottleneck on when a hops axis shortened the circuit below the base
-// distance, whichever order the two axes appear in.
-func traceBandwidthDim(distance int, rates []units.DataRate) sweep.Dimension {
-	d := sweep.Dimension{Name: "bottleneck_bw"}
-	for _, r := range rates {
-		r := r
-		d.Values = append(d.Values, sweep.Value{
-			Label: r.String(),
-			Apply: func(sc *scenario.Scenario) error {
-				idx := distance
-				if n := len(sc.Topology.Relays); idx > n {
-					idx = n
-				}
-				bottleneck := netem.NodeID(fmt.Sprintf("relay-%d", idx))
-				for i := range sc.Topology.Relays {
-					if sc.Topology.Relays[i].ID == bottleneck {
-						sc.Topology.Relays[i].Access.UpRate = r
-						sc.Topology.Relays[i].Access.DownRate = r
-						return nil
-					}
-				}
-				return fmt.Errorf("explicit topology has no relay %q", bottleneck)
-			},
-		})
-	}
-	return d
-}
-
-// traceHopsDim sweeps the circuit length of the trace base by
-// regenerating the explicit topology and path per value. The
-// bottleneck stays at the base distance, clamped to the new length,
-// and keeps whatever rate the current scenario's bottleneck relay
-// carries — so a bandwidth axis composes with this one in either
-// dimension order instead of being silently clobbered by the rebuild.
-func traceHopsDim(p experiments.CwndTraceParams, counts []int) sweep.Dimension {
-	d := sweep.Dimension{Name: "hops"}
-	for _, h := range counts {
-		h := h
-		d.Values = append(d.Values, sweep.Value{
-			Label: fmt.Sprintf("%d", h),
-			Apply: func(sc *scenario.Scenario) error {
-				if h < 1 {
-					return fmt.Errorf("%d hops", h)
-				}
-				q := p
-				q.Hops = h
-				if q.BottleneckHop > h {
-					q.BottleneckHop = h
-				}
-				bottleneck := netem.NodeID(fmt.Sprintf("relay-%d", p.BottleneckHop))
-				for _, r := range sc.Topology.Relays {
-					if r.ID == bottleneck {
-						q.BottleneckRate = r.Access.UpRate
-					}
-				}
-				fresh := q.Scenario(nil)
-				sc.Topology = fresh.Topology
-				sc.Circuits.Paths = fresh.Circuits.Paths
-				return nil
-			},
-		})
-	}
-	return d
-}
-
-// sweepSpec is the JSON grid file schema: a base block plus ordered
-// dimension blocks, each carrying exactly one axis list.
-type sweepSpec struct {
-	Name string `json:"name"`
-	// Seed is nullable so an explicit 0 is honoured; omitting the
-	// field selects the default 42.
-	Seed       *int64         `json:"seed"`
-	Base       sweepSpecBase  `json:"base"`
-	Dimensions []sweepSpecDim `json:"dimensions"`
-	Sample     int            `json:"sample"`
-	SampleSeed int64          `json:"sample_seed"`
-}
-
-type sweepSpecBase struct {
-	// Kind selects the base scenario: "trace" (default) or "population".
-	Kind string   `json:"kind"`
-	Arms []string `json:"arms"`
-	// Trace shape.
-	Hops     int `json:"hops"`
-	Distance int `json:"distance"`
-	// Population shape.
-	Relays     int     `json:"relays"`
-	Circuits   int     `json:"circuits"`
-	Switches   int     `json:"switches"`
-	SizeBytes  int64   `json:"size_bytes"`
-	HorizonSec float64 `json:"horizon_sec"`
-	// SpreadMs is nullable so an explicit 0 (simultaneous arrivals) is
-	// honoured; omitting the field selects the default 200 ms stagger.
-	SpreadMs *float64 `json:"spread_ms"`
-}
-
-type sweepSpecDim struct {
-	Gammas         []float64 `json:"gammas,omitempty"`
-	Policies       []string  `json:"policies,omitempty"`
-	BandwidthsMbps []float64 `json:"bandwidths_mbps,omitempty"`
-	Hops           []int     `json:"hops,omitempty"`
-	SizesBytes     []int64   `json:"sizes_bytes,omitempty"`
-	Counts         []int     `json:"counts,omitempty"`
-	Trains         []int     `json:"trains,omitempty"`
-	Shards         []int     `json:"shards,omitempty"`
-	Faults         []string  `json:"faults,omitempty"`
-}
-
-// parseSweepSpec renders a JSON grid file into a Sweep.
-func parseSweepSpec(data []byte) (sweep.Sweep, error) {
-	var spec sweepSpec
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		return sweep.Sweep{}, fmt.Errorf("sweep spec: %w", err)
-	}
-	if dec.More() {
-		return sweep.Sweep{}, fmt.Errorf("sweep spec: trailing content after the grid object")
-	}
-	cfg := sweepConfig{
-		name: spec.Name, kind: spec.Base.Kind, seed: 42,
-		arms:     spec.Base.Arms,
-		hops:     spec.Base.Hops,
-		distance: spec.Base.Distance,
-		relays:   spec.Base.Relays, circuits: spec.Base.Circuits,
-		switches: spec.Base.Switches, size: spec.Base.SizeBytes,
-		horizon: time.Duration(spec.Base.HorizonSec * float64(time.Second)),
-		spread:  200 * time.Millisecond,
-		sample:  spec.Sample, sampleSeed: spec.SampleSeed,
-	}
-	if spec.Seed != nil {
-		cfg.seed = *spec.Seed
-	}
-	if spec.Base.SpreadMs != nil {
-		cfg.spread = time.Duration(*spec.Base.SpreadMs * float64(time.Millisecond))
-	}
-	if cfg.name == "" {
-		cfg.name = "spec-sweep"
-	}
-	if cfg.kind == "" {
-		cfg.kind = "trace"
-	}
-	if len(cfg.arms) == 0 {
-		cfg.arms = []string{"circuitstart"}
-	}
-	if cfg.hops == 0 {
-		cfg.hops = 3
-	}
-	if cfg.distance == 0 {
-		cfg.distance = min(3, cfg.hops)
-	}
-	if cfg.relays == 0 {
-		cfg.relays = 40
-	}
-	if cfg.circuits == 0 {
-		cfg.circuits = 50
-	}
-	if cfg.size == 0 {
-		cfg.size = 500_000
-	}
-	if cfg.horizon == 0 {
-		cfg.horizon = 600 * time.Second
-	}
-	for i, d := range spec.Dimensions {
-		req, err := specDimRequest(d)
-		if err != nil {
-			return sweep.Sweep{}, fmt.Errorf("sweep spec: dimension %d: %w", i, err)
-		}
-		cfg.dims = append(cfg.dims, req)
-	}
-	return cfg.build()
-}
-
-// specDimRequest converts one spec dimension block, enforcing that it
-// names exactly one axis.
-func specDimRequest(d sweepSpecDim) (dimRequest, error) {
-	var out []dimRequest
-	if len(d.Gammas) > 0 {
-		out = append(out, dimRequest{kind: "gamma", raw: floatsToRaw(d.Gammas)})
-	}
-	if len(d.Policies) > 0 {
-		out = append(out, dimRequest{kind: "policy", raw: d.Policies})
-	}
-	if len(d.BandwidthsMbps) > 0 {
-		out = append(out, dimRequest{kind: "bandwidth", raw: floatsToRaw(d.BandwidthsMbps)})
-	}
-	if len(d.Hops) > 0 {
-		out = append(out, dimRequest{kind: "hops", raw: intsToRaw(d.Hops)})
-	}
-	if len(d.SizesBytes) > 0 {
-		raw := make([]string, len(d.SizesBytes))
-		for i, n := range d.SizesBytes {
-			raw[i] = strconv.FormatInt(n, 10)
-		}
-		out = append(out, dimRequest{kind: "size", raw: raw})
-	}
-	if len(d.Counts) > 0 {
-		out = append(out, dimRequest{kind: "count", raw: intsToRaw(d.Counts)})
-	}
-	if len(d.Trains) > 0 {
-		out = append(out, dimRequest{kind: "train", raw: intsToRaw(d.Trains)})
-	}
-	if len(d.Shards) > 0 {
-		out = append(out, dimRequest{kind: "shards", raw: intsToRaw(d.Shards)})
-	}
-	if len(d.Faults) > 0 {
-		out = append(out, dimRequest{kind: "faults", raw: d.Faults})
-	}
-	if len(out) != 1 {
-		return dimRequest{}, fmt.Errorf("needs exactly one axis list, has %d", len(out))
-	}
-	return out[0], nil
-}
-
-func floatsToRaw(vs []float64) []string {
-	out := make([]string, len(vs))
-	for i, v := range vs {
-		out[i] = strconv.FormatFloat(v, 'g', -1, 64)
-	}
-	return out
-}
-
-func intsToRaw(vs []int) []string {
-	out := make([]string, len(vs))
-	for i, v := range vs {
-		out[i] = strconv.Itoa(v)
-	}
-	return out
+	return spec.Parse(data)
 }
 
 // pickFormat resolves the output format from -format or the extension.
@@ -596,6 +328,18 @@ func parseInts(raw []string) ([]int, error) {
 	out := make([]int, len(raw))
 	for i, r := range raw {
 		v, err := strconv.Atoi(r)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", r)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseInt64s(raw []string) ([]int64, error) {
+	out := make([]int64, len(raw))
+	for i, r := range raw {
+		v, err := strconv.ParseInt(r, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad value %q", r)
 		}

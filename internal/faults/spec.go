@@ -13,57 +13,74 @@ import (
 
 // planSpec is the JSON wire form of a Plan. Times are float seconds and
 // milliseconds so spec files read like the paper's prose ("a 30 s trunk
-// partition", "±5 ms jitter") rather than nanosecond integers.
+// partition", "±5 ms jitter") rather than nanosecond integers. The
+// sub-structs are named so ParseSpec and MarshalSpec share one schema.
 type planSpec struct {
-	BurstLoss []struct {
-		Relay    string  `json:"relay"`
-		FromS    float64 `json:"from_s"`
-		UntilS   float64 `json:"until_s"`
-		PGoodBad float64 `json:"p_good_bad"`
-		PBadGood float64 `json:"p_bad_good"`
-		LossGood float64 `json:"loss_good"`
-		LossBad  float64 `json:"loss_bad"`
-	} `json:"burst_loss,omitempty"`
-	Jitter []struct {
-		Relay       string  `json:"relay"`
-		FromS       float64 `json:"from_s"`
-		UntilS      float64 `json:"until_s"`
-		AmplitudeMS float64 `json:"amplitude_ms"`
-		SpikeProb   float64 `json:"spike_prob"`
-		SpikeMS     float64 `json:"spike_ms"`
-	} `json:"jitter,omitempty"`
-	Flaps []struct {
-		Relay    string  `json:"relay"`
-		DownAtS  float64 `json:"down_at_s"`
-		UpAfterS float64 `json:"up_after_s"`
-		Repeat   int     `json:"repeat"`
-		EveryS   float64 `json:"every_s"`
-	} `json:"flaps,omitempty"`
-	Partitions []struct {
-		TrunkA     string  `json:"trunk_a"`
-		TrunkB     string  `json:"trunk_b"`
-		AtS        float64 `json:"at_s"`
-		HealAfterS float64 `json:"heal_after_s"`
-	} `json:"partitions,omitempty"`
-	Degrades []struct {
-		Relay         string  `json:"relay"`
-		Mode          string  `json:"mode"`
-		AtS           float64 `json:"at_s"`
-		RecoverAfterS float64 `json:"recover_after_s"`
-		RateFactor    float64 `json:"rate_factor"`
-	} `json:"degrades,omitempty"`
-	Recovery *struct {
-		Enabled    bool    `json:"enabled"`
-		StallRTOs  int     `json:"stall_rtos"`
-		MaxRetries int     `json:"max_retries"`
-		RTOMinMS   float64 `json:"rto_min_ms"`
-		RTOMaxMS   float64 `json:"rto_max_ms"`
-	} `json:"recovery,omitempty"`
+	BurstLoss  []burstLossSpec `json:"burst_loss,omitempty"`
+	Jitter     []jitterSpec    `json:"jitter,omitempty"`
+	Flaps      []flapSpec      `json:"flaps,omitempty"`
+	Partitions []partitionSpec `json:"partitions,omitempty"`
+	Degrades   []degradeSpec   `json:"degrades,omitempty"`
+	Recovery   *recoverySpec   `json:"recovery,omitempty"`
+}
+
+type burstLossSpec struct {
+	Relay    string  `json:"relay"`
+	FromS    float64 `json:"from_s"`
+	UntilS   float64 `json:"until_s"`
+	PGoodBad float64 `json:"p_good_bad"`
+	PBadGood float64 `json:"p_bad_good"`
+	LossGood float64 `json:"loss_good"`
+	LossBad  float64 `json:"loss_bad"`
+}
+
+type jitterSpec struct {
+	Relay       string  `json:"relay"`
+	FromS       float64 `json:"from_s"`
+	UntilS      float64 `json:"until_s"`
+	AmplitudeMS float64 `json:"amplitude_ms"`
+	SpikeProb   float64 `json:"spike_prob"`
+	SpikeMS     float64 `json:"spike_ms"`
+}
+
+type flapSpec struct {
+	Relay    string  `json:"relay"`
+	DownAtS  float64 `json:"down_at_s"`
+	UpAfterS float64 `json:"up_after_s"`
+	Repeat   int     `json:"repeat"`
+	EveryS   float64 `json:"every_s"`
+}
+
+type partitionSpec struct {
+	TrunkA     string  `json:"trunk_a"`
+	TrunkB     string  `json:"trunk_b"`
+	AtS        float64 `json:"at_s"`
+	HealAfterS float64 `json:"heal_after_s"`
+}
+
+type degradeSpec struct {
+	Relay         string  `json:"relay"`
+	Mode          string  `json:"mode"`
+	AtS           float64 `json:"at_s"`
+	RecoverAfterS float64 `json:"recover_after_s"`
+	RateFactor    float64 `json:"rate_factor"`
+}
+
+type recoverySpec struct {
+	Enabled    bool    `json:"enabled"`
+	StallRTOs  int     `json:"stall_rtos"`
+	MaxRetries int     `json:"max_retries"`
+	RTOMinMS   float64 `json:"rto_min_ms"`
+	RTOMaxMS   float64 `json:"rto_max_ms"`
 }
 
 func seconds(s float64) sim.Time       { return sim.Time(s * float64(time.Second)) }
 func secondsD(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 func millis(ms float64) time.Duration  { return time.Duration(ms * float64(time.Millisecond)) }
+
+func toSeconds(t sim.Time) float64       { return float64(t) / float64(time.Second) }
+func toSecondsD(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+func toMillis(d time.Duration) float64   { return float64(d) / float64(time.Millisecond) }
 
 // ParseSpec decodes a JSON fault plan. Unknown fields are rejected so a
 // typo fails the run instead of silently injecting nothing. The returned
@@ -128,6 +145,64 @@ func ParseSpec(data []byte) (Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// MarshalSpec renders a Plan back into its canonical JSON wire form —
+// the inverse of ParseSpec, used by internal/spec to re-emit inline
+// fault plans canonically so spec round-trips are byte-stable. The
+// output is compact (no indentation); empty fault lists are omitted and
+// a zero Recovery block is dropped entirely.
+func MarshalSpec(p Plan) ([]byte, error) {
+	var spec planSpec
+	for _, b := range p.BurstLoss {
+		spec.BurstLoss = append(spec.BurstLoss, burstLossSpec{
+			Relay: string(b.Relay),
+			FromS: toSeconds(b.From), UntilS: toSeconds(b.Until),
+			PGoodBad: b.PGoodBad, PBadGood: b.PBadGood,
+			LossGood: b.LossGood, LossBad: b.LossBad,
+		})
+	}
+	for _, j := range p.Jitter {
+		spec.Jitter = append(spec.Jitter, jitterSpec{
+			Relay: string(j.Relay),
+			FromS: toSeconds(j.From), UntilS: toSeconds(j.Until),
+			AmplitudeMS: toMillis(j.Amplitude),
+			SpikeProb:   j.SpikeProb, SpikeMS: toMillis(j.SpikeDelay),
+		})
+	}
+	for _, f := range p.Flaps {
+		spec.Flaps = append(spec.Flaps, flapSpec{
+			Relay:   string(f.Relay),
+			DownAtS: toSeconds(f.DownAt), UpAfterS: toSecondsD(f.UpAfter),
+			Repeat: f.Repeat, EveryS: toSecondsD(f.Every),
+		})
+	}
+	for _, pt := range p.Partitions {
+		spec.Partitions = append(spec.Partitions, partitionSpec{
+			TrunkA: string(pt.TrunkA), TrunkB: string(pt.TrunkB),
+			AtS: toSeconds(pt.At), HealAfterS: toSecondsD(pt.HealAfter),
+		})
+	}
+	for _, d := range p.Degrades {
+		switch d.Mode {
+		case DegradeHang, DegradeSlow:
+		default:
+			return nil, fmt.Errorf("faults: cannot marshal degrade mode %v", d.Mode)
+		}
+		spec.Degrades = append(spec.Degrades, degradeSpec{
+			Relay: string(d.Relay), Mode: d.Mode.String(),
+			AtS: toSeconds(d.At), RecoverAfterS: toSecondsD(d.RecoverAfter),
+			RateFactor: d.RateFactor,
+		})
+	}
+	if p.Recovery != (Recovery{}) {
+		spec.Recovery = &recoverySpec{
+			Enabled: p.Recovery.Enabled, StallRTOs: p.Recovery.StallRTOs,
+			MaxRetries: p.Recovery.MaxRetries,
+			RTOMinMS:   toMillis(p.Recovery.RTOMin), RTOMaxMS: toMillis(p.Recovery.RTOMax),
+		}
+	}
+	return json.Marshal(spec)
 }
 
 // presets maps names to plan constructors parameterized by the target

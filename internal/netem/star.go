@@ -23,6 +23,9 @@ type StarFabric struct {
 }
 
 // Star is the historical name of the hub-and-spoke fabric.
+//
+// Deprecated: use StarFabric. The alias remains for pre-Fabric call
+// sites (Network.Star) and will not grow new uses.
 type Star = StarFabric
 
 var _ Fabric = (*StarFabric)(nil)

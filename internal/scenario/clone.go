@@ -1,6 +1,9 @@
 package scenario
 
-import "circuitstart/internal/netem"
+import (
+	"circuitstart/internal/netem"
+	"circuitstart/internal/units"
+)
 
 // Clone returns a deep copy of the scenario: mutating the copy (its
 // arms, topology, population, fabric spec, paths or event lists) never
@@ -10,8 +13,8 @@ import "circuitstart/internal/netem"
 // they run concurrently.
 //
 // Per-value fields (seed, horizon, probes, …) copy by assignment;
-// reference fields are duplicated below. Distribution pointers never
-// appear in a Scenario (only in Results), so the copy is complete.
+// reference fields — including the Circuits.SizeDist pointer — are
+// duplicated below.
 func (sc Scenario) Clone() Scenario {
 	out := sc
 	if sc.Topology.Relays != nil {
@@ -30,6 +33,13 @@ func (sc Scenario) Clone() Scenario {
 		for i, p := range sc.Circuits.Paths {
 			out.Circuits.Paths[i] = append([]netem.NodeID(nil), p...)
 		}
+	}
+	if sc.Circuits.SizeMix != nil {
+		out.Circuits.SizeMix = append([]units.DataSize(nil), sc.Circuits.SizeMix...)
+	}
+	if sc.Circuits.SizeDist != nil {
+		d := *sc.Circuits.SizeDist
+		out.Circuits.SizeDist = &d
 	}
 	if sc.Arms != nil {
 		out.Arms = append([]Arm(nil), sc.Arms...)

@@ -102,6 +102,15 @@ type CircuitSet struct {
 	// overload experiments use it to interleave interactive and bulk
 	// circuits on one bottleneck. When set, TransferSize may be zero.
 	SizeMix []units.DataSize
+	// SizeDist, when set, draws per-circuit transfer sizes from a
+	// distribution (workload.SizeDist) instead of a scalar. Validation
+	// materializes it: the fixed kind just sets TransferSize (keeping
+	// that path byte-identical), the stochastic kinds sample Count
+	// sizes from the scenario seed's dedicated "workload-sizes" stream
+	// into SizeMix. Mutually exclusive with an explicit SizeMix; the
+	// draw depends only on (Seed, Count, dist), never on workers, arms
+	// or replications.
+	SizeDist *workload.SizeDist
 	// Download runs transfers in the backward direction
 	// (server → client through the onion).
 	Download bool
@@ -256,6 +265,33 @@ func (sc *Scenario) validate() error {
 	}
 	if sc.Replications == 0 {
 		sc.Replications = 1
+	}
+	if d := sc.Circuits.SizeDist; d != nil {
+		if len(sc.Circuits.SizeMix) > 0 {
+			return fmt.Errorf("scenario: SizeDist and SizeMix are mutually exclusive")
+		}
+		if sc.Circuits.TransferSize != 0 {
+			return fmt.Errorf("scenario: SizeDist and TransferSize are mutually exclusive")
+		}
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if d.Kind == workload.SizeFixed {
+			sc.Circuits.TransferSize = d.Size
+		} else {
+			n := sc.Circuits.Count
+			if n == 0 {
+				n = len(sc.Circuits.Paths)
+			}
+			if n <= 0 {
+				return fmt.Errorf("scenario: SizeDist %q needs a positive circuit count", d.Kind)
+			}
+			mix, err := d.Sample(sc.Seed, n)
+			if err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			sc.Circuits.SizeMix = mix
+		}
 	}
 	if sc.Circuits.TransferSize <= 0 && len(sc.Circuits.SizeMix) == 0 {
 		return fmt.Errorf("scenario: transfer size %v", sc.Circuits.TransferSize)

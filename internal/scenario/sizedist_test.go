@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"testing"
+
+	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
+)
+
+// TestSizeDistFixedByteIdentical pins the compatibility contract: a
+// fixed SizeDist collapses onto the scalar TransferSize path and
+// reproduces the plain scenario bit for bit (zero extra RNG draws).
+func TestSizeDistFixedByteIdentical(t *testing.T) {
+	plain := testScenario()
+	res, err := Runner{}.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist := testScenario()
+	dist.Circuits.TransferSize = 0
+	dist.Circuits.SizeDist = &workload.SizeDist{Kind: workload.SizeFixed, Size: 200 * units.Kilobyte}
+	res2, err := Runner{}.Run(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, res, res2)
+}
+
+// TestSizeDistStochasticDeterministic checks that a stochastic size
+// distribution is seeded purely by the scenario seed: two runs agree,
+// and the sizes actually vary across circuits.
+func TestSizeDistStochasticDeterministic(t *testing.T) {
+	mk := func() Scenario {
+		sc := testScenario()
+		sc.Circuits.TransferSize = 0
+		sc.Circuits.SizeDist = &workload.SizeDist{
+			Kind: workload.SizeLogNormal, Size: 200 * units.Kilobyte, Sigma: 0.75,
+		}
+		return sc
+	}
+	a, err := Runner{}.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Runner{Workers: 4}.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, a, b)
+
+	// The materialized mix must differ from the fixed-size run.
+	fixed, err := Runner{}.Run(testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	as, fs := a.Arms[0].TTLB.Sorted(), fixed.Arms[0].TTLB.Sorted()
+	if len(as) == len(fs) {
+		for i := range as {
+			if as[i] != fs[i] {
+				same = false
+				break
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		t.Error("lognormal size mix reproduced the fixed-size TTLBs — the distribution had no effect")
+	}
+}
+
+// TestSizeDistValidation checks the exclusivity and validation rules.
+func TestSizeDistValidation(t *testing.T) {
+	sc := testScenario()
+	sc.Circuits.SizeDist = &workload.SizeDist{Kind: workload.SizeFixed, Size: units.Kilobyte}
+	// TransferSize is still set from testScenario.
+	if _, err := (Runner{}).Run(sc); err == nil {
+		t.Error("SizeDist alongside TransferSize accepted")
+	}
+
+	sc2 := testScenario()
+	sc2.Circuits.TransferSize = 0
+	sc2.Circuits.SizeMix = []units.DataSize{1000, 2000}
+	sc2.Circuits.SizeDist = &workload.SizeDist{Kind: workload.SizeFixed, Size: units.Kilobyte}
+	if _, err := (Runner{}).Run(sc2); err == nil {
+		t.Error("SizeDist alongside SizeMix accepted")
+	}
+
+	sc3 := testScenario()
+	sc3.Circuits.TransferSize = 0
+	sc3.Circuits.SizeDist = &workload.SizeDist{Kind: workload.SizeLogNormal, Size: units.Kilobyte}
+	if _, err := (Runner{}).Run(sc3); err == nil {
+		t.Error("lognormal with zero sigma accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"circuitstart/internal/scenario"
 	"circuitstart/internal/transport"
 	"circuitstart/internal/units"
+	"circuitstart/internal/workload"
 )
 
 // Custom builds a dimension from explicit values — the escape hatch for
@@ -356,6 +357,34 @@ func DimFaults(names ...string) (Dimension, error) {
 					return err
 				}
 				sc.Faults = plan
+				return nil
+			},
+		})
+	}
+	return d, nil
+}
+
+// DimSizeDist returns a dimension sweeping the per-circuit
+// transfer-size distribution (workload.ParseSizeDist forms, e.g.
+// "fixed:500000", "lognormal:500000:0.8", "pareto:100000:1.2:10000000").
+// Specs are validated eagerly; samples are drawn per point from the
+// scenario seed's dedicated stream, so the axis is deterministic for
+// any worker count and the fixed kind is byte-identical to a scalar
+// TransferSize base.
+func DimSizeDist(specs ...string) (Dimension, error) {
+	d := Dimension{Name: "size_dist"}
+	for _, s := range specs {
+		dist, err := workload.ParseSizeDist(s)
+		if err != nil {
+			return Dimension{}, fmt.Errorf("sweep: %w", err)
+		}
+		d.Values = append(d.Values, Value{
+			Label: dist.Label(),
+			Apply: func(sc *scenario.Scenario) error {
+				dd := dist
+				sc.Circuits.SizeDist = &dd
+				sc.Circuits.SizeMix = nil
+				sc.Circuits.TransferSize = 0
 				return nil
 			},
 		})

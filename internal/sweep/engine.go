@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +9,11 @@ import (
 
 	"circuitstart/internal/scenario"
 )
+
+// ErrStopped is returned by Engine.Run when the Stop hook cancelled the
+// sweep. Points emitted before the stop reached every sink normally, so
+// the partial output is a valid grid-order prefix.
+var ErrStopped = errors.New("sweep: stopped")
 
 // Engine executes a Sweep: grid points fan out across a worker pool,
 // and completed points are emitted to the sinks in grid order — never
@@ -28,6 +34,20 @@ type Engine struct {
 	// (and appending to the same file) completes it without re-paying
 	// the finished points.
 	Resume int
+	// Lookup, when set, is consulted once per grid point before any
+	// work is scheduled for it. Returning (arms, true) replays the
+	// point from those cached per-arm rows instead of running it — the
+	// hash-keyed generalization of Resume: any subset of the grid can
+	// be served from a prior run, not just an index prefix. Replayed
+	// points reach the sinks with PointResult.Result == nil (stock
+	// sinks and Table never read it). Lookup may be called from
+	// multiple worker goroutines concurrently.
+	Lookup func(Point) ([]ArmPoint, bool)
+	// Stop, when set, is polled before each point is started. Once it
+	// returns true no further points run and Run returns ErrStopped;
+	// points already emitted reached every sink in grid order. Stop may
+	// be called from multiple worker goroutines concurrently.
+	Stop func() bool
 }
 
 // Run expands the sweep and executes every point, streaming each
@@ -78,7 +98,7 @@ func (e Engine) Run(s Sweep, sinks ...Sink) (*Table, error) {
 		err error
 	}
 	results := make([]slot, len(pts))
-	var next, failed atomic.Int64
+	var next, failed, stopped atomic.Int64
 	var wg sync.WaitGroup
 	done := make(chan int, len(pts))
 	// Claim tokens bound how far workers run ahead of the emit cursor:
@@ -101,11 +121,23 @@ func (e Engine) Run(s Sweep, sinks ...Sink) (*Table, error) {
 					claims <- struct{}{}
 					return
 				}
+				if e.Stop != nil && e.Stop() {
+					stopped.Store(1)
+					failed.Store(1)
+				}
 				if failed.Load() != 0 {
-					// A prior point failed: report the remaining
-					// points as skipped without paying for them.
+					// A prior point failed (or the sweep was stopped):
+					// report the remaining points as skipped without
+					// paying for them.
 					done <- i
 					continue
+				}
+				if e.Lookup != nil {
+					if arms, ok := e.Lookup(pts[i]); ok {
+						results[i] = slot{res: &PointResult{Point: pts[i], Arms: arms}}
+						done <- i
+						continue
+					}
 				}
 				res, err := scenario.Runner{Workers: pointWorkers}.Run(pts[i].Scenario)
 				if err != nil {
@@ -152,6 +184,9 @@ func (e Engine) Run(s Sweep, sinks ...Sink) (*Table, error) {
 		if err := sk.Flush(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("sweep: sink: %w", err)
 		}
+	}
+	if firstErr == nil && stopped.Load() != 0 {
+		firstErr = ErrStopped
 	}
 	return tbl, firstErr
 }

@@ -1,0 +1,125 @@
+package sweep_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"circuitstart/internal/scenario"
+	"circuitstart/internal/sweep"
+)
+
+// TestEngineLookupMatchesResume pins the generalization the serve
+// daemon's cache rests on: replaying completed points through the
+// hash-keyed Lookup hook produces byte-identical sink output to a full
+// run, and the points it does compute are exactly the ones index-prefix
+// Resume would compute.
+func TestEngineLookupMatchesResume(t *testing.T) {
+	sw := sweep.Sweep{
+		Name:       "lookup",
+		Base:       popBase(scenario.Arm{Name: "circuitstart"}),
+		Dimensions: []sweep.Dimension{sweep.Gamma(2, 4, 8)},
+	}
+
+	// Full run: capture every point's rows and the reference CSV bytes.
+	var fullCSV bytes.Buffer
+	cap := &captureSink{}
+	full, err := sweep.Engine{Workers: 2}.Run(sw, cap, sweep.NewCSVSink(&fullCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pretend the first two points are cached, keyed by their coords —
+	// the same identity PointKey hashes, minus the hashing.
+	const cachedPrefix = 2
+	cache := map[string][]sweep.ArmPoint{}
+	for _, pr := range cap.results[:cachedPrefix] {
+		cache[strings.Join(pr.Point.Coords, "|")] = pr.Arms
+	}
+	var computed []int
+	var replayCSV bytes.Buffer
+	replay, err := sweep.Engine{
+		Workers: 2,
+		Lookup: func(pt sweep.Point) ([]sweep.ArmPoint, bool) {
+			arms, ok := cache[strings.Join(pt.Coords, "|")]
+			return arms, ok
+		},
+	}.Run(sw, sweep.NewCSVSink(&replayCSV), pointIndexSink{computed: &computed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if replayCSV.String() != fullCSV.String() {
+		t.Errorf("lookup replay CSV differs from the full run:\n--- replay ---\n%s--- full ---\n%s",
+			replayCSV.String(), fullCSV.String())
+	}
+	if len(replay.Rows) != len(full.Rows) {
+		t.Errorf("replay table has %d rows, want %d", len(replay.Rows), len(full.Rows))
+	}
+
+	// The computed set must equal what Resume(cachedPrefix) computes.
+	resumed, err := sweep.Engine{Workers: 2, Resume: cachedPrefix}.Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComputed := map[int]bool{}
+	for _, r := range resumed.Rows {
+		wantComputed[r.Point] = true
+	}
+	if len(computed) != len(wantComputed) {
+		t.Fatalf("lookup run computed points %v; index-prefix resume computed %v", computed, wantComputed)
+	}
+	for _, idx := range computed {
+		if !wantComputed[idx] {
+			t.Errorf("lookup run computed point %d, which resume skipped", idx)
+		}
+	}
+}
+
+// pointIndexSink records which emitted points carry a full Result —
+// i.e. were actually computed rather than replayed from Lookup.
+type pointIndexSink struct{ computed *[]int }
+
+func (s pointIndexSink) Begin(sweep.Meta) error { return nil }
+func (s pointIndexSink) Point(pr *sweep.PointResult) error {
+	if pr.Result != nil {
+		*s.computed = append(*s.computed, pr.Point.Index)
+	}
+	return nil
+}
+func (s pointIndexSink) Flush() error { return nil }
+
+// TestEngineStop checks the cancellation hook: a sweep whose Stop
+// predicate trips returns ErrStopped, and the rows it emitted before
+// stopping are a valid grid-order prefix.
+func TestEngineStop(t *testing.T) {
+	sw := sweep.Sweep{
+		Base:       popBase(scenario.Arm{Name: "circuitstart"}),
+		Dimensions: []sweep.Dimension{sweep.Gamma(2, 4, 8)},
+	}
+	_, err := sweep.Engine{Workers: 1, Stop: func() bool { return true }}.Run(sw)
+	if !errors.Is(err, sweep.ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+
+	// A stop that trips after the first point still emits a prefix.
+	full, err := sweep.Engine{Workers: 1}.Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	tbl, err := sweep.Engine{Workers: 1, Stop: func() bool { n++; return n > 1 }}.Run(sw)
+	if !errors.Is(err, sweep.ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if len(tbl.Rows) >= len(full.Rows) {
+		t.Fatalf("stopped run emitted %d rows, full run %d — stop had no effect", len(tbl.Rows), len(full.Rows))
+	}
+	for i, r := range tbl.Rows {
+		want := full.Rows[i]
+		if r.Point != want.Point || r.ArmPoint != want.ArmPoint {
+			t.Fatalf("stopped run row %d = %+v, want the full run's prefix row %+v", i, r, want)
+		}
+	}
+}

@@ -388,6 +388,22 @@ func (t *Table) WriteText(w io.Writer) error {
 	return tbl.WriteText(w)
 }
 
+// WriteSummary renders the canonical sweep summary block — the header
+// line, the full (point, arm) table and the per-dimension marginals.
+// `circuitsim sweep` prints exactly this to stdout and the serve
+// daemon's text summary endpoint returns exactly this body, so a remote
+// client's output is byte-identical to a local batch run's.
+func (t *Table) WriteSummary(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "sweep %s: %d points over %d dimensions (full grid %d)\n",
+		t.Meta.Name, t.Meta.Points, len(t.Meta.Dimensions), t.Meta.GridSize); err != nil {
+		return err
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	return t.WriteMarginals(w)
+}
+
 // WriteMarginals renders one aligned marginal table per dimension.
 func (t *Table) WriteMarginals(w io.Writer) error {
 	for _, dim := range t.Meta.Dimensions {

@@ -105,6 +105,40 @@ func quoteCSV(c string) string {
 	return string(append(out, '"'))
 }
 
+// Flusher is the optional push-side of a streaming writer. It is
+// satisfied by bufio.Writer and (via a wrapper) net/http's
+// ResponseWriter flusher — declared here so sinks can flush transports
+// without importing them.
+type Flusher interface {
+	Flush()
+}
+
+// AutoFlushWriter forwards every Write to w and then flushes f — the
+// adapter that turns a buffered or chunked transport (an HTTP response,
+// say) into a live row stream: each CSV/JSONL record the sweep sinks
+// emit reaches the client immediately instead of sitting in a buffer
+// until the sweep ends. Output bytes are untouched, so a streamed file
+// is byte-identical to a batch-written one.
+type AutoFlushWriter struct {
+	w io.Writer
+	f Flusher
+}
+
+// NewAutoFlushWriter wraps w; flush may be nil (then writes pass
+// through unflushed, so callers can wrap unconditionally).
+func NewAutoFlushWriter(w io.Writer, flush Flusher) *AutoFlushWriter {
+	return &AutoFlushWriter{w: w, f: flush}
+}
+
+// Write implements io.Writer.
+func (a *AutoFlushWriter) Write(p []byte) (int, error) {
+	n, err := a.w.Write(p)
+	if err == nil && a.f != nil {
+		a.f.Flush()
+	}
+	return n, err
+}
+
 // JSONLStream writes one compact JSON value per line (JSON Lines) —
 // the machine-readable streaming format for sweep results and similar
 // record sequences.
